@@ -1,0 +1,1 @@
+bench/experiments.ml: Alpha Apps Bytes Format Int64 List Mchan Minidb Osim Printf Protocol Rewrite Shasta Sim Support Sys

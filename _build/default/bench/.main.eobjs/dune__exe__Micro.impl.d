@@ -1,0 +1,1 @@
+bench/micro.ml: Alpha Analyze Bechamel Benchmark Experiments Hashtbl Instance Int64 List Measure Printf Protocol Rewrite Sim Staged Test Time Toolkit

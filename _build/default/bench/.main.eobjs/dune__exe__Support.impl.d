@@ -1,0 +1,1 @@
+bench/support.ml: Array List Mchan Printf Protocol Shasta Sim String

@@ -1,0 +1,51 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- table1  -- one experiment
+
+   Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
+   rewrite_time ablation micro *)
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("table2", Experiments.table2);
+    ("table3", Experiments.table3);
+    ("figure3", Experiments.figure3);
+    ("figure4", Experiments.figure4);
+    ("table4", Experiments.table4);
+    ("figure5", Experiments.figure5);
+    ("mb", Experiments.mb_bench);
+    ("rewrite_time", Experiments.rewrite_time);
+    ("ablation", Experiments.ablation);
+    ("micro", Micro.run_micro);
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> List.filter (fun a -> a <> "--") rest
+    | [] -> []
+  in
+  let to_run =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" n
+                  (String.concat " " (List.map fst experiments));
+                exit 1)
+          names
+  in
+  Printf.printf "Shasta reproduction benchmarks (simulated 4x4-processor Memory Channel cluster)\n";
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s: %.1f s host time]\n" name (Unix.gettimeofday () -. t0))
+    to_run

@@ -1,0 +1,78 @@
+(* Shared plumbing for the benchmark harness: cluster builders,
+   latency measurement inside the simulation, and table printing. *)
+
+module C = Shasta.Cluster
+module R = Shasta.Runtime
+
+let cluster ?(nodes = 4) ?(cpus = 4) ?(variant = Protocol.Config.Smp)
+    ?(model = Protocol.Config.Rc) ?(checks = true) ?(direct_downgrade = true)
+    ?(shared = 8 * 1024 * 1024) () =
+  C.create
+    {
+      Shasta.Config.default with
+      Shasta.Config.net =
+        { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node = cpus };
+      checks_enabled = checks;
+      protocol =
+        {
+          Protocol.Config.default with
+          Protocol.Config.variant;
+          model;
+          direct_downgrade;
+          shared_size = shared;
+        };
+    }
+
+(* --- table printing --- *)
+
+let rule width = String.make width '-'
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (rule (String.length title))
+
+(** [print_table ~headers rows] — fixed-width aligned text table. *)
+let print_table ~headers rows =
+  let cols = List.length headers in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) headers;
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i = 0 then Printf.printf "%-*s" widths.(i) cell
+        else Printf.printf "  %*s" widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  print_row headers;
+  Printf.printf "%s\n" (rule (Array.fold_left ( + ) (2 * (cols - 1)) widths));
+  List.iter print_row rows
+
+let us t = Printf.sprintf "%.2f" (Sim.Units.to_us t)
+let ms t = Printf.sprintf "%.2f" (1000.0 *. t)
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+(** Simulated-time measurement of a repeated fiber operation: runs
+    [iters] rounds of [f] in process [cpu] after [setup], returning the
+    mean simulated duration of [f].  Extra participant processes can be
+    provided to serve or contend. *)
+let measure_on ?(others = []) ~cl ~cpu ?(iters = 200) ~setup f =
+  let total = ref 0.0 in
+  let _ =
+    C.spawn cl ~cpu "measured" (fun h ->
+        setup h;
+        (* Warm one round, then measure. *)
+        f h;
+        let t0 = C.now cl in
+        for _ = 1 to iters do
+          f h
+        done;
+        R.flush h;
+        total := C.now cl -. t0)
+  in
+  List.iter (fun (cpu, body) -> ignore (C.spawn cl ~cpu "other" body)) others;
+  ignore (C.run cl);
+  !total /. float_of_int iters

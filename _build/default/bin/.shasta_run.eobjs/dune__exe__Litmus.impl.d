@@ -1,0 +1,1 @@
+bin/litmus.ml: Apps Int64 Mchan Printf Protocol Shasta Sim

@@ -1,0 +1,1 @@
+bin/shasta_instrument.ml: Alpha Arg Array Format List Printf Rewrite String

@@ -1,0 +1,1 @@
+bin/shasta_instrument.mli:

@@ -1,0 +1,1 @@
+bin/shasta_run.ml: Apps Arg Format List Mchan Printf Protocol Shasta String

@@ -1,0 +1,1 @@
+bin/shasta_run.mli:

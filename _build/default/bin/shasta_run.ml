@@ -1,0 +1,78 @@
+(* CLI: run a SPLASH-2-style workload on a configurable simulated
+   cluster.
+
+     dune exec bin/shasta_run.exe -- --app LU --procs 8 --sync sm
+*)
+
+let () =
+  let app = ref "LU" in
+  let procs = ref 4 in
+  let sync = ref "mp" in
+  let size = ref 0 in
+  let nodes = ref 4 in
+  let cpus = ref 4 in
+  let variant = ref "smp" in
+  let model = ref "rc" in
+  let checks = ref true in
+  let line = ref 64 in
+  let stats = ref false in
+  let spec_list =
+    String.concat ", " (List.map (fun s -> s.Apps.Harness.name) Apps.Registry.all)
+  in
+  let args =
+    [
+      ("--app", Arg.Set_string app, Printf.sprintf " application (%s)" spec_list);
+      ("--procs", Arg.Set_int procs, " number of processors (node-major placement)");
+      ("--sync", Arg.Set_string sync, " synchronisation: mp (message passing) | sm (LL/SC)");
+      ("--size", Arg.Set_int size, " problem size (0 = application default)");
+      ("--nodes", Arg.Set_int nodes, " cluster nodes");
+      ("--cpus", Arg.Set_int cpus, " processors per node");
+      ("--variant", Arg.Set_string variant, " protocol variant: smp | base");
+      ("--model", Arg.Set_string model, " consistency: rc | sc");
+      ("--no-checks", Arg.Clear checks, " run as the original binary (no inline checks)");
+      ("--line", Arg.Set_int line, " coherence line size in bytes");
+      ("--stats", Arg.Set stats, " print per-process protocol statistics");
+    ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_run [options]";
+  let spec = Apps.Registry.find !app in
+  let cfg =
+    {
+      Shasta.Config.default with
+      Shasta.Config.net =
+        { Mchan.Net.default_config with Mchan.Net.nodes = !nodes; cpus_per_node = !cpus };
+      checks_enabled = !checks;
+      protocol =
+        {
+          Protocol.Config.default with
+          Protocol.Config.variant =
+            (match !variant with "base" -> Protocol.Config.Base | _ -> Protocol.Config.Smp);
+          model = (match !model with "sc" -> Protocol.Config.Sc | _ -> Protocol.Config.Rc);
+          line_size = !line;
+          shared_size = 8 * 1024 * 1024;
+        };
+    }
+  in
+  let cl = Shasta.Cluster.create cfg in
+  let sync = match !sync with "sm" -> Apps.Harness.Sm | _ -> Apps.Harness.Mp in
+  let size = if !size = 0 then None else Some !size in
+  let elapsed, ok = Apps.Harness.run_spec cl spec ~nprocs:!procs ~sync ?size () in
+  Printf.printf "%s: %d procs, %s sync: %.3f ms simulated, validated: %b\n"
+    spec.Apps.Harness.name !procs
+    (match sync with Apps.Harness.Sm -> "LL/SC" | Apps.Harness.Mp -> "MP")
+    (1000.0 *. elapsed) ok;
+  Format.printf "breakdown: %a@." Shasta.Breakdown.pp
+    (let b = Shasta.Cluster.total_breakdown cl in
+     Shasta.Breakdown.normalize ~against:b b);
+  if !stats then
+    List.iter
+      (fun h ->
+        let s = Protocol.Engine.stats h.Shasta.Runtime.pcb in
+        Printf.printf
+          "pid %2d: read misses %6d  store misses %6d  sc %4d  intra %6d  false %3d  msgs %7d  downgrades %d/%d\n"
+          (Shasta.Runtime.pid h) s.Protocol.Engine.read_misses s.Protocol.Engine.store_misses
+          s.Protocol.Engine.sc_misses s.Protocol.Engine.intra_hits s.Protocol.Engine.false_misses
+          s.Protocol.Engine.messages_handled s.Protocol.Engine.downgrades_direct
+          s.Protocol.Engine.downgrades_msg)
+      (Shasta.Cluster.runtimes cl);
+  if not ok then exit 1

@@ -1,0 +1,1 @@
+examples/database.ml: Format List Minidb Printf Shasta

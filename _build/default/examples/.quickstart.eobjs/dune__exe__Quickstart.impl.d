@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mchan Printf Protocol Shasta

@@ -1,0 +1,1 @@
+examples/splash_ocean.ml: Apps Format Mchan Printf Protocol Shasta

@@ -1,0 +1,1 @@
+examples/splash_ocean.mli:

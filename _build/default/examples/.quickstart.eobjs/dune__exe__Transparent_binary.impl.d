@@ -1,0 +1,1 @@
+examples/transparent_binary.ml: Alpha Array Format Int64 List Mchan Printf Protocol Rewrite Shasta Sim

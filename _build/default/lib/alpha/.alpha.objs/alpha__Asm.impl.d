@@ -1,0 +1,1 @@
+lib/alpha/asm.ml: Insn List Program

@@ -1,0 +1,1 @@
+lib/alpha/cost.ml: Insn List

@@ -1,0 +1,1 @@
+lib/alpha/insn.ml: Format List

@@ -1,0 +1,1 @@
+lib/alpha/interp.ml: Array Cost Format Insn Int64 List Program Runtime

@@ -1,0 +1,1 @@
+lib/alpha/program.ml: Array Hashtbl Insn List Option

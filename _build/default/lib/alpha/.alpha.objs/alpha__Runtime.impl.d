@@ -1,0 +1,1 @@
+lib/alpha/runtime.ml: Bytes Insn Int64 Sim

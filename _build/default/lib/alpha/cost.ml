@@ -1,0 +1,34 @@
+(** Per-instruction cycle costs charged by the interpreter.
+
+    The values model a 300 MHz Alpha 21164 with warm caches: simple
+    integer operations issue in one cycle, multiplies and float operations
+    take a few, a hardware MB costs ~9 cycles (0.03 us, the "standard SMP
+    application" number of Section 6.2).  Pseudo-instruction costs are the
+    *inline fast-path* costs of the inserted Shasta code — roughly one
+    cycle per equivalent instruction slot; the slow paths (protocol entry,
+    remote misses) are charged separately by the runtime. *)
+
+let cycles : Insn.t -> int = function
+  | Insn.Binop (Insn.Mul, _, _, _) -> 4
+  | Insn.Binop (_, _, _, _) -> 1
+  | Insn.Li _ | Insn.Lif _ -> 1
+  | Insn.Ld _ | Insn.St _ | Insn.Ldf _ | Insn.Stf _ -> 2
+  | Insn.Ll _ | Insn.Sc _ -> 2
+  | Insn.Fbinop (Insn.Fdiv, _, _, _) -> 16
+  | Insn.Fbinop (_, _, _, _) -> 4
+  | Insn.Fcmp _ -> 2
+  | Insn.Cvt_if _ | Insn.Cvt_fi _ -> 2
+  | Insn.Fmov _ -> 1
+  | Insn.Mb -> 9
+  | Insn.Br _ | Insn.Bcond _ -> 1
+  | Insn.Call _ | Insn.Ret -> 2
+  | Insn.Halt -> 1
+  | Insn.Load_check _ -> 3
+  | Insn.Store_check _ -> 7
+  | Insn.Batch_check entries -> 2 + (2 * List.length entries)
+  | Insn.Ll_check _ -> 3
+  | Insn.Sc_check _ -> 4
+  | Insn.Mb_check -> 2
+  | Insn.Poll -> 3
+  | Insn.Prefetch_excl _ -> 2
+  | Insn.Label _ -> 0

@@ -1,0 +1,226 @@
+(** The instruction interpreter.
+
+    Executes an assembled {!Program} against a {!Runtime}.  The
+    interpreter is deliberately ignorant of Shasta: it charges the cycle
+    cost of each instruction (batched, then flushed through
+    [runtime.charge] before any callback that could suspend the simulated
+    process) and delegates all memory traffic to the runtime closures. *)
+
+exception Trap of string
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+type stats = {
+  mutable steps : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable polls : int;
+  mutable mbs : int;
+  mutable ll_sc : int;
+}
+
+type outcome = { r0 : int64; stats : stats }
+
+type frame = { proc : Program.procedure; mutable pc : int }
+
+let flush_threshold = 512
+
+let check_alignment addr w =
+  let b = Insn.bytes_of_width w in
+  if addr land (b - 1) <> 0 then trap "unaligned %d-byte access at 0x%x" b addr
+
+let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~entry
+    ?(args = []) () =
+  let regs = Array.make 32 0L in
+  let fregs = Array.make 32 0.0 in
+  List.iteri
+    (fun i v ->
+      if i > 5 then invalid_arg "Interp.run: more than 6 arguments";
+      regs.(16 + i) <- v)
+    args;
+  let rget r = if r = 31 then 0L else regs.(r) in
+  let rset r v = if r <> 31 then regs.(r) <- v in
+  let fget f = if f = 31 then 0.0 else fregs.(f) in
+  let fset f v = if f <> 31 then fregs.(f) <- v in
+  let stats = { steps = 0; loads = 0; stores = 0; polls = 0; mbs = 0; ll_sc = 0 } in
+  let acc_cycles = ref 0 in
+  let flush () =
+    if !acc_cycles > 0 then begin
+      rt.Runtime.charge !acc_cycles;
+      acc_cycles := 0
+    end
+  in
+  let charge insn =
+    acc_cycles := !acc_cycles + Cost.cycles insn;
+    if !acc_cycles >= flush_threshold then flush ()
+  in
+  let addr_of off base = Int64.to_int (rget base) + off in
+  let eval_operand = function
+    | Insn.Reg r -> rget r
+    | Insn.Imm i -> Int64.of_int i
+  in
+  let eval_binop op a b =
+    let open Int64 in
+    match (op : Insn.binop) with
+    | Insn.Add -> add a b
+    | Insn.Sub -> sub a b
+    | Insn.Mul -> mul a b
+    | Insn.And -> logand a b
+    | Insn.Or -> logor a b
+    | Insn.Xor -> logxor a b
+    | Insn.Sll -> shift_left a (to_int b land 63)
+    | Insn.Srl -> shift_right_logical a (to_int b land 63)
+    | Insn.Sra -> shift_right a (to_int b land 63)
+    | Insn.Cmpeq -> if equal a b then 1L else 0L
+    | Insn.Cmplt -> if compare a b < 0 then 1L else 0L
+    | Insn.Cmple -> if compare a b <= 0 then 1L else 0L
+    | Insn.Cmpult -> if unsigned_compare a b < 0 then 1L else 0L
+  in
+  let eval_cond c (v : int64) =
+    match (c : Insn.cond) with
+    | Insn.Eq -> v = 0L
+    | Insn.Ne -> v <> 0L
+    | Insn.Lt -> Int64.compare v 0L < 0
+    | Insn.Le -> Int64.compare v 0L <= 0
+    | Insn.Gt -> Int64.compare v 0L > 0
+    | Insn.Ge -> Int64.compare v 0L >= 0
+  in
+  let eval_fcond c (a : float) (b : float) =
+    match (c : Insn.cond) with
+    | Insn.Eq -> a = b
+    | Insn.Ne -> a <> b
+    | Insn.Lt -> a < b
+    | Insn.Le -> a <= b
+    | Insn.Gt -> a > b
+    | Insn.Ge -> a >= b
+  in
+  let entry_proc = Program.find program entry in
+  let call_stack : frame list ref = ref [] in
+  let frame = ref { proc = entry_proc; pc = 0 } in
+  let sc_override : bool option ref = ref None in
+  let running = ref true in
+  while !running do
+    let f = !frame in
+    if f.pc < 0 || f.pc >= Array.length f.proc.Program.code then begin
+      (* Fall off the end of a procedure: treat as return. *)
+      match !call_stack with
+      | [] -> running := false
+      | caller :: rest ->
+          call_stack := rest;
+          frame := caller
+    end
+    else begin
+      let insn = f.proc.Program.code.(f.pc) in
+      stats.steps <- stats.steps + 1;
+      if stats.steps > max_steps then trap "step budget exceeded (%d)" max_steps;
+      charge insn;
+      f.pc <- f.pc + 1;
+      match insn with
+      | Insn.Binop (op, a, b, d) -> rset d (eval_binop op (rget a) (eval_operand b))
+      | Insn.Li (r, v) -> rset r v
+      | Insn.Lif (fr, v) -> fset fr v
+      | Insn.Ld (w, d, off, b) ->
+          stats.loads <- stats.loads + 1;
+          let addr = addr_of off b in
+          check_alignment addr w;
+          rset d (rt.Runtime.load addr w)
+      | Insn.St (w, s, off, b) ->
+          stats.stores <- stats.stores + 1;
+          let addr = addr_of off b in
+          check_alignment addr w;
+          rt.Runtime.store addr w (rget s)
+      | Insn.Ldf (d, off, b) ->
+          stats.loads <- stats.loads + 1;
+          let addr = addr_of off b in
+          check_alignment addr Insn.W64;
+          fset d (Int64.float_of_bits (rt.Runtime.load addr Insn.W64))
+      | Insn.Stf (s, off, b) ->
+          stats.stores <- stats.stores + 1;
+          let addr = addr_of off b in
+          check_alignment addr Insn.W64;
+          rt.Runtime.store addr Insn.W64 (Int64.bits_of_float (fget s))
+      | Insn.Fbinop (op, a, b, d) ->
+          let x = fget a and y = fget b in
+          let v =
+            match op with
+            | Insn.Fadd -> x +. y
+            | Insn.Fsub -> x -. y
+            | Insn.Fmul -> x *. y
+            | Insn.Fdiv -> x /. y
+          in
+          fset d v
+      | Insn.Fcmp (c, a, b, d) -> rset d (if eval_fcond c (fget a) (fget b) then 1L else 0L)
+      | Insn.Cvt_if (r, fr) -> fset fr (Int64.to_float (rget r))
+      | Insn.Cvt_fi (fr, r) -> rset r (Int64.of_float (fget fr))
+      | Insn.Fmov (a, d) -> fset d (fget a)
+      | Insn.Ll (w, d, off, b) ->
+          stats.ll_sc <- stats.ll_sc + 1;
+          let addr = addr_of off b in
+          check_alignment addr w;
+          rset d (rt.Runtime.ll addr w)
+      | Insn.Sc (w, s, off, b) -> (
+          stats.ll_sc <- stats.ll_sc + 1;
+          let addr = addr_of off b in
+          check_alignment addr w;
+          match !sc_override with
+          | Some ok ->
+              sc_override := None;
+              rset s (if ok then 1L else 0L)
+          | None ->
+              let ok = rt.Runtime.sc addr w (rget s) in
+              rset s (if ok then 1L else 0L))
+      | Insn.Mb ->
+          stats.mbs <- stats.mbs + 1;
+          rt.Runtime.mb ()
+      | Insn.Br l -> f.pc <- Program.label_index f.proc l
+      | Insn.Bcond (c, r, l) -> if eval_cond c (rget r) then f.pc <- Program.label_index f.proc l
+      | Insn.Call name ->
+          let callee = Program.find program name in
+          call_stack := f :: !call_stack;
+          frame := { proc = callee; pc = 0 }
+      | Insn.Ret -> (
+          match !call_stack with
+          | [] -> running := false
+          | caller :: rest ->
+              call_stack := rest;
+              frame := caller)
+      | Insn.Halt -> running := false
+      | Insn.Load_check (w, r, off, b) ->
+          flush ();
+          let addr = addr_of off b in
+          rset r (rt.Runtime.load_check (rget r) addr w)
+      | Insn.Store_check (w, off, b) ->
+          flush ();
+          rt.Runtime.store_check (addr_of off b) w
+      | Insn.Batch_check entries ->
+          flush ();
+          let resolved =
+            List.map
+              (fun e ->
+                (addr_of e.Insn.b_off e.Insn.b_base, e.Insn.b_width, e.Insn.b_kind))
+              entries
+          in
+          rt.Runtime.batch_check resolved
+      | Insn.Ll_check (off, b) ->
+          flush ();
+          rt.Runtime.ll_check (addr_of off b)
+      | Insn.Sc_check (w, r, off, b) -> (
+          flush ();
+          match rt.Runtime.sc_check (addr_of off b) w (rget r) with
+          | Runtime.Run_in_hardware -> sc_override := None
+          | Runtime.Handled ok -> sc_override := Some ok)
+      | Insn.Mb_check ->
+          flush ();
+          rt.Runtime.mb_check ()
+      | Insn.Poll ->
+          stats.polls <- stats.polls + 1;
+          flush ();
+          rt.Runtime.poll ()
+      | Insn.Prefetch_excl (off, b) ->
+          flush ();
+          rt.Runtime.prefetch_excl (addr_of off b)
+      | Insn.Label _ -> trap "label survived assembly"
+    end
+  done;
+  flush ();
+  { r0 = rget 0; stats }

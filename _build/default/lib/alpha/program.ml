@@ -1,0 +1,105 @@
+(** Programs: named procedures of assembled instructions.
+
+    [Label] markers in the source instruction list are resolved to
+    instruction indices at assembly time and removed from the executable
+    stream (they occupy no code space). *)
+
+type procedure = {
+  name : string;
+  code : Insn.t array;  (** labels removed *)
+  labels : (string, int) Hashtbl.t;  (** label -> index into [code] *)
+}
+
+type t = { procedures : (string, procedure) Hashtbl.t; mutable order : string list }
+
+(** [Unknown_label (procedure, label)] *)
+exception Unknown_label of string * string
+exception Unknown_procedure of string
+exception Duplicate_label of string * string
+
+let assemble_procedure ~name insns =
+  let labels = Hashtbl.create 16 in
+  let code = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun insn ->
+      match insn with
+      | Insn.Label l ->
+          if Hashtbl.mem labels l then raise (Duplicate_label (name, l));
+          Hashtbl.replace labels l !idx
+      | _ ->
+          code := insn :: !code;
+          incr idx)
+    insns;
+  let code = Array.of_list (List.rev !code) in
+  (* Validate branch targets eagerly so that bad programs fail at build
+     time, not mid-simulation. *)
+  Array.iter
+    (fun insn ->
+      match insn with
+      | Insn.Br l | Insn.Bcond (_, _, l) ->
+          if not (Hashtbl.mem labels l) then raise (Unknown_label (name, l))
+      | _ -> ())
+    code;
+  { name; code; labels }
+
+let create () = { procedures = Hashtbl.create 16; order = [] }
+
+let add_procedure t ~name insns =
+  let p = assemble_procedure ~name insns in
+  if not (Hashtbl.mem t.procedures name) then t.order <- name :: t.order;
+  Hashtbl.replace t.procedures name p;
+  p
+
+let find t name =
+  match Hashtbl.find_opt t.procedures name with
+  | Some p -> p
+  | None -> raise (Unknown_procedure name)
+
+let procedures t = List.rev_map (fun n -> Hashtbl.find t.procedures n) t.order
+
+let label_index p l =
+  match Hashtbl.find_opt p.labels l with
+  | Some i -> i
+  | None -> raise (Unknown_label (p.name, l))
+
+(** Total static size in 32-bit instruction slots (Section 6.3 reports
+    code-size increase in these terms). *)
+let size_in_slots t =
+  List.fold_left
+    (fun acc p -> acc + Array.fold_left (fun a i -> a + Insn.size_in_slots i) 0 p.code)
+    0 (procedures t)
+
+(** [map_procedures t f] builds a new program by transforming each
+    procedure's instruction stream (used by the rewriter). *)
+let map_procedures t f =
+  let t' = create () in
+  List.iter
+    (fun p ->
+      let insns = f p in
+      ignore (add_procedure t' ~name:p.name insns))
+    (procedures t);
+  t'
+
+(** [to_insn_list p] reconstitutes a label-bearing instruction list from
+    an assembled procedure (inverse of assembly, modulo label positions). *)
+let to_insn_list p =
+  let at = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun l i ->
+      let existing = Option.value (Hashtbl.find_opt at i) ~default:[] in
+      Hashtbl.replace at i (l :: existing))
+    p.labels;
+  let out = ref [] in
+  Array.iteri
+    (fun i insn ->
+      (match Hashtbl.find_opt at i with
+      | Some ls -> List.iter (fun l -> out := Insn.Label l :: !out) (List.sort compare ls)
+      | None -> ());
+      out := insn :: !out)
+    p.code;
+  (* Labels pointing one past the end (e.g. a loop exit at the tail). *)
+  (match Hashtbl.find_opt at (Array.length p.code) with
+  | Some ls -> List.iter (fun l -> out := Insn.Label l :: !out) (List.sort compare ls)
+  | None -> ());
+  List.rev !out

@@ -1,0 +1,89 @@
+(** The interface between interpreted code and the machine it runs on.
+
+    The interpreter is pure control flow + ALU; every memory access and
+    every rewriter-inserted pseudo-instruction is delegated to this record
+    of closures.  Two implementations matter:
+
+    - a {e native} runtime (hardware shared-memory multiprocessor):
+      [load]/[store] touch the one true memory image, checks are absent
+      (original binaries have no pseudo-instructions);
+    - the {e Shasta} runtime: [load]/[store] are still raw hardware
+      accesses to the local node's memory image — possibly observing the
+      protocol's invalid-flag value — and only the [_check] callbacks
+      enter the protocol, possibly stalling the simulated process.
+
+    This split mirrors the real system: the original load/store
+    instructions are untouched by the rewriter; correctness comes from
+    the inserted code. *)
+
+type sc_outcome =
+  | Run_in_hardware  (** line was exclusive at the LL; execute the real SC *)
+  | Handled of bool  (** protocol performed (or failed) the conditional store *)
+
+type t = {
+  hz : float;  (** processor frequency, for converting cycles to seconds *)
+  load : int -> Insn.width -> int64;  (** raw load *)
+  store : int -> Insn.width -> int64 -> unit;  (** raw store *)
+  load_check : int64 -> int -> Insn.width -> int64;
+      (** [load_check value addr w]: inline flag comparison after a shared
+          load; on a flag match, distinguishes a real miss (enter protocol,
+          fetch, return the true value) from a false miss. *)
+  store_check : int -> Insn.width -> unit;
+      (** ensure the line is exclusive before the following store *)
+  batch_check : (int * Insn.width * Insn.access_kind) list -> unit;
+      (** combined check for a run of nearby accesses (Section 2.2/4.1) *)
+  ll : int -> Insn.width -> int64;  (** raw load-locked (sets the lock flag) *)
+  sc : int -> Insn.width -> int64 -> bool;  (** raw store-conditional *)
+  ll_check : int -> unit;
+      (** before LL: fetch the line if invalid/pending; remember its state *)
+  sc_check : int -> Insn.width -> int64 -> sc_outcome;
+      (** before SC: decide hardware vs protocol path (Section 3.1.2) *)
+  mb : unit -> unit;  (** raw hardware memory barrier *)
+  mb_check : unit -> unit;  (** protocol fence inserted after MB *)
+  poll : unit -> unit;  (** service incoming protocol messages *)
+  prefetch_excl : int -> unit;  (** non-binding exclusive prefetch *)
+  charge : int -> unit;  (** consume [n] cycles of simulated CPU time *)
+}
+
+(** An in-process runtime with one flat memory image and no coherence;
+    useful for unit-testing the interpreter and for "standard SMP"
+    baseline measurements.  [size] bytes of zeroed memory. *)
+let flat ?(hz = Sim.Units.default_cpu_hz) ?(charge = fun _ -> ()) ~size () =
+  let mem = Bytes.make size '\000' in
+  let load addr (w : Insn.width) =
+    match w with
+    | Insn.W32 -> Int64.of_int32 (Bytes.get_int32_le mem addr)
+    | Insn.W64 -> Bytes.get_int64_le mem addr
+  in
+  let store addr (w : Insn.width) v =
+    match w with
+    | Insn.W32 -> Bytes.set_int32_le mem addr (Int64.to_int32 v)
+    | Insn.W64 -> Bytes.set_int64_le mem addr v
+  in
+  (* Uniprocessor LL/SC: succeeds unless an intervening SC cleared it. *)
+  let lock_flag = ref false in
+  {
+    hz;
+    load;
+    store;
+    load_check = (fun value _addr _w -> value);
+    store_check = (fun _ _ -> ());
+    batch_check = (fun _ -> ());
+    ll =
+      (fun addr w ->
+        lock_flag := true;
+        load addr w);
+    sc =
+      (fun addr w v ->
+        let ok = !lock_flag in
+        lock_flag := false;
+        if ok then store addr w v;
+        ok);
+    ll_check = (fun _ -> ());
+    sc_check = (fun _ _ _ -> Run_in_hardware);
+    mb = (fun () -> ());
+    mb_check = (fun () -> ());
+    poll = (fun () -> ());
+    prefetch_excl = (fun _ -> ());
+    charge;
+  }

@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: Array Float Harness Int64 List R

@@ -1,0 +1,1 @@
+lib/apps/fmm.ml: Array Float Harness Int64 List R

@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Alpha Float Int64 List Mchan Option Printf Protocol Shasta

@@ -1,0 +1,1 @@
+lib/apps/lu.ml: Alpha Array Float Harness Int64 List R

@@ -1,0 +1,1 @@
+lib/apps/raytrace.ml: Array Float Harness Int64 List R Shasta

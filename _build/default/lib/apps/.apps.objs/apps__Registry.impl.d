@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Barnes Fmm Harness List Lu Ocean Printf Raytrace String Volrend Water

@@ -1,0 +1,1 @@
+lib/apps/volrend.ml: Array Float Harness Int64 List R Shasta

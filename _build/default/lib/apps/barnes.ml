@@ -1,0 +1,114 @@
+(** Barnes: hierarchical N-body, reduced to its sharing pattern.
+
+    Each iteration builds spatial cells (lock-protected insertions — the
+    tree-build phase) and then computes forces: every processor reads all
+    body positions (widely shared, read-mostly) and writes only its own
+    bodies.  Communication is modest and speedups are good (Figure 3). *)
+
+open Harness
+
+let iterations = 4
+let n_cells = 64
+let dt = 0.01
+
+let init_pos n i = float_of_int ((i * 37) mod n) /. float_of_int n
+
+(* Pure reference: forces depend only on positions, so the lock-ordered
+   cell lists do not affect the result. *)
+let reference n =
+  let pos = Array.init n (init_pos n) in
+  let vel = Array.make n 0.0 in
+  for _ = 1 to iterations do
+    let force = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let d = pos.(j) -. pos.(i) in
+          let r2 = (d *. d) +. 0.01 in
+          force.(i) <- force.(i) +. (d /. r2)
+        end
+      done
+    done;
+    for i = 0 to n - 1 do
+      vel.(i) <- vel.(i) +. (dt *. force.(i));
+      pos.(i) <- pos.(i) +. (dt *. vel.(i))
+    done
+  done;
+  pos
+
+let make t ~size:n =
+  let pos = alloc_farray t n in
+  let vel = alloc_farray t n in
+  let cells = alloc_farray t n_cells in
+  let cell_locks = Array.init n_cells (fun _ -> make_lock t) in
+  let bar = make_barrier t in
+  let body p h =
+    let lo, hi = chunk ~n ~nprocs:t.nprocs p in
+    if p = 0 then
+      for i = 0 to n - 1 do
+        fset h pos i (init_pos n i);
+        fset h vel i 0.0
+      done;
+    barrier t h bar;
+    start_timing t;
+    for _ = 1 to iterations do
+      (* Tree build: insert own bodies into cells under per-cell locks;
+         consecutive bodies of one cell are inserted under one hold. *)
+      let held = ref (-1) in
+      for i = lo to hi - 1 do
+        let c = i * n_cells / n in
+        if c <> !held then begin
+          if !held >= 0 then unlock h cell_locks.(!held);
+          lock h cell_locks.(c);
+          held := c
+        end;
+        iset h cells c (iget h cells c + 1)
+      done;
+      if !held >= 0 then unlock h cell_locks.(!held);
+      barrier t h bar;
+      (* Force computation: read everyone, write own.  Positions were
+         invalidated by the last update phase; batch-fetch them first. *)
+      batch_read h pos 0 n;
+      for i = lo to hi - 1 do
+        let xi = fget h pos i in
+        let f = ref 0.0 in
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            let d = fget h pos j -. xi in
+            let r2 = (d *. d) +. 0.01 in
+            f := !f +. (d /. r2);
+            R.work_cycles h 60
+          end
+        done;
+        let v = fget h vel i +. (dt *. !f) in
+        fset h vel i v;
+        R.work_cycles h 8
+      done;
+      barrier t h bar;
+      (* Position update (uses the just-written velocity). *)
+      for i = lo to hi - 1 do
+        fset h pos i (fget h pos i +. (dt *. fget h vel i))
+      done;
+      barrier t h bar
+    done
+  in
+  let validate () =
+    let r = reference n in
+    List.for_all
+      (fun i ->
+        match read_valid t.cluster (pos.base + (8 * i)) with
+        | Some bits -> Float.abs (Int64.float_of_bits bits -. r.(i)) < 1e-9
+        | None -> false)
+      [ 0; n / 3; n / 2; n - 1 ]
+  in
+  (body, validate)
+
+let spec =
+  {
+    name = "Barnes";
+    paper_seq = 9.19;
+    paper_overhead = 0.096;
+    paper_growth = 0.59;
+    default_size = 640;
+    make;
+  }

@@ -1,0 +1,136 @@
+(** FMM: adaptive fast multipole, reduced to its sharing pattern.
+
+    Bodies are binned into a c x c grid of cells; each cell accumulates a
+    multipole-like aggregate, then cells interact with their 8 neighbours
+    (structured nearest-neighbour communication) and bodies receive the
+    far-field contribution of their own cell.  Like the paper's runs, the
+    cell data benefits from home placement. *)
+
+open Harness
+
+let iterations = 3
+
+let init_mass (_ : int) i = 1.0 +. (float_of_int (i mod 7) /. 7.0)
+(* Bodies are locality-sorted (as SPLASH-2's FMM does after its ORB
+   decomposition), so a processor's bodies fall in its own cells. *)
+let init_pos n i = float_of_int i /. float_of_int n
+
+let cell_of_body ~cells n i = init_pos n i *. float_of_int cells |> int_of_float |> min (cells - 1)
+
+let reference n ~cells =
+  let agg = Array.make cells 0.0 in
+  let acc = Array.make n 0.0 in
+  for _ = 1 to iterations do
+    Array.fill agg 0 cells 0.0;
+    for i = 0 to n - 1 do
+      let c = cell_of_body ~cells n i in
+      agg.(c) <- agg.(c) +. init_mass n i
+    done;
+    let field = Array.make cells 0.0 in
+    for c = 0 to cells - 1 do
+      let f = ref agg.(c) in
+      for d = -1 to 1 do
+        let c' = c + d in
+        if d <> 0 && c' >= 0 && c' < cells then f := !f +. (0.5 *. agg.(c'))
+      done;
+      field.(c) <- !f
+    done;
+    for i = 0 to n - 1 do
+      acc.(i) <- acc.(i) +. field.(cell_of_body ~cells n i)
+    done
+  done;
+  acc
+
+let make t ~size:n =
+  let cells = 128 in
+  let agg = alloc_farray t cells in
+  let field = alloc_farray t cells in
+  let acc = alloc_farray t n in
+  let cell_locks = Array.init cells (fun _ -> make_lock t) in
+  let bar = make_barrier t in
+  (* Home placement: cell aggregates, fields and body accumulators are
+     homed at their owning processor's domain. *)
+  for p = 0 to t.nprocs - 1 do
+    let clo, chi = chunk ~n:cells ~nprocs:t.nprocs p in
+    if chi > clo then begin
+      place_home t ~addr:(agg.base + (8 * clo)) ~len:(8 * (chi - clo)) ~owner:p;
+      place_home t ~addr:(field.base + (8 * clo)) ~len:(8 * (chi - clo)) ~owner:p
+    end;
+    let lo, hi = chunk ~n ~nprocs:t.nprocs p in
+    if hi > lo then place_home t ~addr:(acc.base + (8 * lo)) ~len:(8 * (hi - lo)) ~owner:p
+  done;
+  let body p h =
+    let lo, hi = chunk ~n ~nprocs:t.nprocs p in
+    let clo, chi = chunk ~n:cells ~nprocs:t.nprocs p in
+    if p = 0 then
+      for i = 0 to n - 1 do
+        fset h acc i 0.0
+      done;
+    barrier t h bar;
+    start_timing t;
+    for _ = 1 to iterations do
+      (* Zero own cells, then aggregate own bodies under cell locks. *)
+      for c = clo to chi - 1 do
+        fset h agg c 0.0
+      done;
+      barrier t h bar;
+      (* Bodies are sorted by cell, so consecutive insertions share one
+         lock hold (the SPLASH tree-build structure). *)
+      let held = ref (-1) in
+      for i = lo to hi - 1 do
+        let c = cell_of_body ~cells n i in
+        if c <> !held then begin
+          if !held >= 0 then unlock h cell_locks.(!held);
+          lock h cell_locks.(c);
+          held := c
+        end;
+        fset h agg c (fget h agg c +. init_mass n i);
+        R.work_cycles h 10
+      done;
+      if !held >= 0 then unlock h cell_locks.(!held);
+      barrier t h bar;
+      (* Neighbour interactions: read adjacent cells' aggregates. *)
+      for c = clo to chi - 1 do
+        let f = ref (fget h agg c) in
+        for d = -1 to 1 do
+          let c' = c + d in
+          if d <> 0 && c' >= 0 && c' < cells then f := !f +. (0.5 *. fget h agg c')
+        done;
+        fset h field c !f;
+        R.work_cycles h 20
+      done;
+      barrier t h bar;
+      (* Far-field contribution to own bodies: evaluate the multipole
+         expansion (several coefficient loads per body). *)
+      for i = lo to hi - 1 do
+        let c = cell_of_body ~cells n i in
+        for k = 0 to 39 do
+          ignore (fget_b h field ((c + k) mod cells));
+          R.work_cycles h 20
+        done;
+        fset h acc i (fget h acc i +. fget h field c);
+        R.work_cycles h 40
+      done;
+      barrier t h bar
+    done
+  in
+  let validate () =
+    let r = reference n ~cells in
+    List.for_all
+      (fun i ->
+        match read_valid t.cluster (acc.base + (8 * i)) with
+        | Some bits -> Float.abs (Int64.float_of_bits bits -. r.(i)) < 1e-9
+        | None -> false)
+      [ 0; n / 2; n - 1 ]
+  in
+  (body, validate)
+
+let spec =
+  {
+    name = "FMM";
+    paper_seq = 6.23;
+    paper_overhead = 0.17;
+    paper_growth = 0.59;
+    default_size = 8192;
+    make;
+  }

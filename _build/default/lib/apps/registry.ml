@@ -1,0 +1,22 @@
+(** The nine SPLASH-2-style applications of Table 3 / Figures 3-4. *)
+
+let all : Harness.spec list =
+  [
+    Barnes.spec;
+    Fmm.spec;
+    Lu.spec;
+    Lu.spec_contig;
+    Ocean.spec;
+    Raytrace.spec;
+    Volrend.spec;
+    Water.spec_nsq;
+    Water.spec_spatial;
+  ]
+
+let find name =
+  match List.find_opt (fun s -> String.lowercase_ascii s.Harness.name = String.lowercase_ascii name) all with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown application %S (known: %s)" name
+           (String.concat ", " (List.map (fun s -> s.Harness.name) all)))

@@ -1,0 +1,83 @@
+(** Volrend: volume rendering.  Work is distributed in tiles through a
+    small number of shared counters, each behind its own lock — "a few
+    highly contended locks" (Section 6.4), which cost the transparent
+    LL/SC runs about half their 16-processor performance in Figure 3,
+    though less catastrophically than Raytrace's single allocator lock. *)
+
+open Harness
+
+let n_queues = 4
+let sample_loads = 4000 (* voxels sampled along a tile's rays *)
+let render_cycles = 0
+
+let voxel i = float_of_int ((i * 13) mod 251) /. 251.0
+
+let reference ~volume_size n =
+  Array.init n (fun tile ->
+      let s = ref 0.0 in
+      for k = 0 to sample_loads - 1 do
+        s := !s +. voxel ((tile + (k * 29)) mod volume_size)
+      done;
+      !s)
+
+let make t ~size:n =
+  let volume_size = 8192 in
+  let volume = alloc_farray t volume_size in
+  let image = alloc_farray t n in
+  let counters = Array.init n_queues (fun _ -> Shasta.Cluster.alloc t.cluster 64) in
+  let locks = Array.init n_queues (fun _ -> make_lock t) in
+  let bar = make_barrier t in
+  let per_queue = (n + n_queues - 1) / n_queues in
+  let body p h =
+    if p = 0 then begin
+      for i = 0 to volume_size - 1 do
+        fset h volume i (voxel i)
+      done;
+      Array.iteri (fun q a -> R.store_int h a (q * per_queue)) counters
+    end;
+    barrier t h bar;
+    start_timing t;
+    (* Each processor starts on its preferred queue and steals from the
+       others when it runs dry. *)
+    for dq = 0 to n_queues - 1 do
+      let q = (p + dq) mod n_queues in
+      let limit = min n ((q + 1) * per_queue) in
+      let continue_ = ref true in
+      while !continue_ do
+        lock h locks.(q);
+        let tile = R.load_int h counters.(q) in
+        if tile < limit then R.store_int h counters.(q) (tile + 1);
+        unlock h locks.(q);
+        if tile >= limit then continue_ := false
+        else begin
+          let s = ref 0.0 in
+          for k = 0 to sample_loads - 1 do
+            s := !s +. fget h volume ((tile + (k * 29)) mod volume_size);
+            R.work_cycles h 9
+          done;
+          ignore render_cycles;
+          fset h image tile !s
+        end
+      done
+    done
+  in
+  let validate () =
+    let r = reference ~volume_size n in
+    List.for_all
+      (fun i ->
+        match read_valid t.cluster (image.base + (8 * i)) with
+        | Some bits -> Float.abs (Int64.float_of_bits bits -. r.(i)) < 1e-12
+        | None -> false)
+      [ 0; n / 3; n - 1 ]
+  in
+  (body, validate)
+
+let spec =
+  {
+    name = "Volrend";
+    paper_seq = 5.8;
+    paper_overhead = 0.20;
+    paper_growth = 0.58;
+    default_size = 512;
+    make;
+  }

@@ -1,0 +1,1 @@
+lib/mchan/link.ml: Float

@@ -1,0 +1,1 @@
+lib/mchan/mailbox.ml: Queue

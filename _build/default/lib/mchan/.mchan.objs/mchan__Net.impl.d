@@ -1,0 +1,1 @@
+lib/mchan/net.ml: Array Link Sim

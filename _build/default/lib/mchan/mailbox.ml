@@ -1,0 +1,20 @@
+(** Per-process receive queues.
+
+    The Memory Channel delivers messages into a region that the receiver
+    polls; we model that as a FIFO mailbox per process.  In SMP-Shasta all
+    processes assigned to the same node (or processor) can drain each
+    other's mailboxes — see [Net.poll_node] — which is the paper's "shared
+    message queues" mechanism (Section 4.3.2). *)
+
+type 'a t = {
+  owner : int;  (** global process id of the owner *)
+  queue : 'a Queue.t;
+}
+
+let create ~owner = { owner; queue = Queue.create () }
+
+let owner t = t.owner
+let push t m = Queue.push m t.queue
+let pop t = Queue.take_opt t.queue
+let is_empty t = Queue.is_empty t.queue
+let length t = Queue.length t.queue

@@ -1,0 +1,97 @@
+(** The simulated cluster: nodes of SMP processors connected by a
+    Memory-Channel-like network.
+
+    The Memory Channel gives protected user-level access: a process
+    transmits with a simple store to a mapped page (no OS involvement),
+    and receivers detect arrival by polling a single cachable location.
+    We model that as: constant [one_way_latency] + transmit occupancy on
+    the sender's link ({!Link}), delivery into a {!Mailbox} by a callback,
+    and a per-node {!Sim.Signal} pulsed on arrival so that stalled
+    processes wake exactly at the arrival instant. *)
+
+type config = {
+  nodes : int;
+  cpus_per_node : int;
+  one_way_latency : float;  (** user process to user process, seconds *)
+  bandwidth : float;  (** per-link, bytes/second *)
+  intra_node_latency : float;  (** shared-memory message between local processes *)
+  quantum : float;  (** OS scheduling quantum *)
+  switch_cost : float;  (** context switch cost *)
+}
+
+(** Constants of the prototype cluster in Section 6.1: four AlphaServer
+    4100s (4 x 300 MHz each), 4 us one-way latency, 60 MB/s per link. *)
+let default_config =
+  {
+    nodes = 4;
+    cpus_per_node = 4;
+    one_way_latency = 4.0e-6;
+    bandwidth = 60.0e6;
+    intra_node_latency = 1.0e-6;
+    quantum = 10.0e-3;
+    switch_cost = 25.0e-6;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  config : config;
+  cpus : Sim.Proc.cpu array array;  (** indexed by node, then local cpu *)
+  node_signal : Sim.Signal.t array;
+  tx : Link.t array;
+  next_pid : int ref;
+  mutable remote_messages : int;
+  mutable local_messages : int;
+}
+
+let create config =
+  if config.nodes <= 0 || config.cpus_per_node <= 0 then invalid_arg "Net.create";
+  let engine = Sim.Engine.create () in
+  let next_pid = ref 0 in
+  let cpus =
+    Array.init config.nodes (fun node ->
+        Array.init config.cpus_per_node (fun c ->
+            Sim.Proc.make_cpu ~engine ~node_id:node
+              ~cpu_global_id:((node * config.cpus_per_node) + c)
+              ~quantum:config.quantum ~switch_cost:config.switch_cost next_pid))
+  in
+  let node_signal = Array.init config.nodes (fun _ -> Sim.Signal.create engine) in
+  let tx = Array.init config.nodes (fun _ -> Link.create ~bandwidth:config.bandwidth) in
+  { engine; config; cpus; node_signal; tx; next_pid; remote_messages = 0; local_messages = 0 }
+
+let engine t = t.engine
+let config t = t.config
+let cpu t ~node ~cpu = t.cpus.(node).(cpu)
+let node_signal t node = t.node_signal.(node)
+let total_cpus t = t.config.nodes * t.config.cpus_per_node
+
+(** [nth_cpu t i] is processor [i] in node-major order (processors 0..3
+    are node 0, 4..7 node 1, ...), matching the paper's placement where
+    2- and 4-processor runs use one node and 16-processor runs use four. *)
+let nth_cpu t i =
+  let per = t.config.cpus_per_node in
+  t.cpus.(i / per).(i mod per)
+
+(** [send t ?at ~src_node ~dst_node ~size deliver] transmits a message;
+    [deliver] runs at the arrival time (it should enqueue into the right
+    mailbox), after which the destination node's signal is pulsed.  [at]
+    defaults to the current time; protocol handlers that service several
+    messages back-to-back pass their time cursor. *)
+let send t ?at ~src_node ~dst_node ~size deliver =
+  let now = match at with Some x -> x | None -> Sim.Engine.now t.engine in
+  let arrival =
+    if src_node = dst_node then begin
+      t.local_messages <- t.local_messages + 1;
+      now +. t.config.intra_node_latency
+    end
+    else begin
+      t.remote_messages <- t.remote_messages + 1;
+      let leaves = Link.transmit t.tx.(src_node) ~now ~size in
+      leaves +. t.config.one_way_latency
+    end
+  in
+  Sim.Engine.at t.engine arrival (fun () ->
+      deliver ();
+      Sim.Signal.pulse t.node_signal.(dst_node))
+
+let remote_messages t = t.remote_messages
+let local_messages t = t.local_messages

@@ -1,0 +1,1 @@
+lib/minidb/buffer.ml: Osim Shasta

@@ -1,0 +1,1 @@
+lib/minidb/db.ml: Buffer Bytes Int64 Osim Shasta

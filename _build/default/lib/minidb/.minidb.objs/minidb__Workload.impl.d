@@ -1,0 +1,1 @@
+lib/minidb/workload.ml: Buffer Db Format List Mchan Osim Printexc Printf Protocol Shasta Sim

@@ -1,0 +1,195 @@
+(** Database workload drivers: the OLTP (TPC-B-like) and DSS
+    (TPC-D-like) runs of Tables 3-4 and Figure 5. *)
+
+module R = Shasta.Runtime
+module K = Osim.Kernel
+module C = Shasta.Cluster
+
+type query = Dss1 | Dss2
+
+(** Where the database processes run (Table 4's three configurations
+    differ only here). *)
+type placement = {
+  root_cpu : int;  (** the root/client process *)
+  daemon_cpu : int;  (** daemons (and short-lived startup processes) *)
+  server_cpus : int list;  (** one entry per query server *)
+}
+
+type outcome = {
+  elapsed : float;  (** warm-cache query/transaction time *)
+  ok : bool;  (** result validated *)
+  server_breakdowns : Shasta.Breakdown.t list;
+  daemon_wakeups : int;
+}
+
+let default_pages = 96
+let default_rows_per_page = 32
+
+let cluster_config ?(nodes = 2) ?(cpus_per_node = 4) ?(checks = true)
+    ?(variant = Protocol.Config.Smp) ?(direct_downgrade = true) () =
+  {
+    Shasta.Config.default with
+    Shasta.Config.net =
+      { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node };
+    checks_enabled = checks;
+    (* Remote forks copy the parent's writable private data; keep the
+       database processes' private area modest so the copy cost stays in
+       proportion, as it is at the paper's scale. *)
+    private_mem_size = 128 * 1024;
+    protocol =
+      {
+        Protocol.Config.default with
+        Protocol.Config.variant;
+        direct_downgrade;
+        shared_size = 4 * 1024 * 1024;
+      };
+  }
+
+let breakdown_delta b0 b1 =
+  {
+    Shasta.Breakdown.task = b1.Shasta.Breakdown.task -. b0.Shasta.Breakdown.task;
+    read = b1.Shasta.Breakdown.read -. b0.Shasta.Breakdown.read;
+    write = b1.Shasta.Breakdown.write -. b0.Shasta.Breakdown.write;
+    mb = b1.Shasta.Breakdown.mb -. b0.Shasta.Breakdown.mb;
+    sync = b1.Shasta.Breakdown.sync -. b0.Shasta.Breakdown.sync;
+    blocked = b1.Shasta.Breakdown.blocked -. b0.Shasta.Breakdown.blocked;
+    msg = b1.Shasta.Breakdown.msg -. b0.Shasta.Breakdown.msg;
+  }
+
+(** [run_dss ~cfg ~placement ~query ()] — boot a cluster + kernel, start
+    the database, run the decision-support query with
+    [List.length placement.server_cpus] parallel servers, and report the
+    warm-cache elapsed time plus per-server breakdowns. *)
+let run_dss ?(pages = default_pages) ?(rows_per_page = default_rows_per_page) ~cfg ~placement
+    ~query () =
+  let servers = List.length placement.server_cpus in
+  let cl = C.create cfg in
+  let slot_cpus =
+    (* root + daemons (two slots so LGWR and DBWR coexist) + one slot per
+       server + one spare for the transient startup processes *)
+    [ placement.root_cpu; placement.daemon_cpu; placement.daemon_cpu; placement.daemon_cpu ]
+    @ placement.server_cpus
+  in
+  let k = K.boot cl ~slot_cpus () in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  let ok = ref false in
+  let wakeups = ref 0 in
+  let breakdowns = ref [] in
+  (* DSS-1: access-dominated rows (highest checking overhead in Table 3);
+     DSS-2: a longer query with relatively more compute per access. *)
+  let passes, meta_loads, row_compute =
+    match query with Dss1 -> (1, 1600, 2) | Dss2 -> (6, 1000, 7)
+  in
+  let _root =
+    K.start k ~cpu_hint:placement.root_cpu (fun ctx ->
+        let db = Db.create ctx ~pages ~rows_per_page ~nframes:pages in
+        Db.start_daemons ctx db ~cpu_hint:(Some placement.daemon_cpu);
+        Buffer.warm ctx db.Db.buf ~pages;
+        let results = db.Db.sga + 2048 in
+        (* Fork the query servers first (they park in pid_block, like
+           long-lived parallel-query slaves), then time only the query. *)
+        let kids =
+          List.mapi
+            (fun i cpu ->
+              K.fork ctx ~cpu_hint:cpu (fun sctx ->
+                  ignore (K.pid_block sctx);
+                  let b0 = R.breakdown sctx.K.h in
+                  let per = (pages + servers - 1) / servers in
+                  let lo = i * per and hi = min pages ((i + 1) * per) in
+                  let sum = ref 0 in
+                  for _ = 1 to passes do
+                    sum := Db.scan sctx db ~lo_page:lo ~hi_page:hi ~meta_loads ~row_compute
+                  done;
+                  R.store_int sctx.K.h (results + (64 * i)) !sum;
+                  R.flush sctx.K.h;
+                  breakdowns := breakdown_delta b0 (R.breakdown sctx.K.h) :: !breakdowns))
+            placement.server_cpus
+        in
+        t0 := C.now cl;
+        List.iter (fun kid -> K.pid_unblock ctx kid) kids;
+        for _ = 1 to servers do
+          ignore (K.wait ctx)
+        done;
+        t1 := C.now cl;
+        let total = ref 0 in
+        for i = 0 to servers - 1 do
+          total := !total + R.load_int ctx.K.h (results + (64 * i))
+        done;
+        ok := !total = Db.expected_sum db ~lo_page:0 ~hi_page:pages;
+        if not !ok then
+          Format.eprintf "DSS mismatch: total=%d expected=%d servers=%d@." !total
+            (Db.expected_sum db ~lo_page:0 ~hi_page:pages) servers;
+        wakeups := db.Db.daemon_wakeups;
+        Db.stop_daemons ctx db)
+  in
+  (try ignore (C.run ~until:600.0 cl)
+   with C.Worker_failed (name, e) ->
+     failwith (Printf.sprintf "minidb worker %s failed: %s" name (Printexc.to_string e)));
+  {
+    elapsed = !t1 -. !t0;
+    ok = !ok;
+    server_breakdowns = List.rev !breakdowns;
+    daemon_wakeups = !wakeups;
+  }
+
+(** [run_oltp ~cfg ~placement ~clients ~txns ()] — TPC-B-style account
+    updates; validated by a final full scan. *)
+let run_oltp ?(pages = default_pages) ?(rows_per_page = default_rows_per_page) ~cfg ~placement
+    ~clients ~txns () =
+  let cl = C.create cfg in
+  let slot_cpus =
+    [ placement.root_cpu; placement.daemon_cpu; placement.daemon_cpu; placement.daemon_cpu ]
+    @ List.filteri (fun i _ -> i < clients) placement.server_cpus
+  in
+  let k = K.boot cl ~slot_cpus () in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  let ok = ref false in
+  let _root =
+    K.start k ~cpu_hint:placement.root_cpu (fun ctx ->
+        let db = Db.create ctx ~pages ~rows_per_page ~nframes:pages in
+        Db.start_daemons ctx db ~cpu_hint:(Some placement.daemon_cpu);
+        Buffer.warm ctx db.Db.buf ~pages;
+        let accounts = pages * rows_per_page in
+        t0 := C.now cl;
+        let cpus = List.filteri (fun i _ -> i < clients) placement.server_cpus in
+        List.iteri
+          (fun c cpu ->
+            ignore
+              (K.fork ctx ~cpu_hint:cpu (fun sctx ->
+                   let rng = Sim.Rng.create (4242 + c) in
+                   for _ = 1 to txns do
+                     Db.account_update sctx db ~account:(Sim.Rng.int rng accounts) ~delta:1
+                   done)))
+          cpus;
+        for _ = 1 to clients do
+          ignore (K.wait ctx)
+        done;
+        t1 := C.now cl;
+        (* Validation: total balance grew by exactly one per transaction. *)
+        let total = Db.scan ctx db ~lo_page:0 ~hi_page:pages ~meta_loads:0 ~row_compute:0 in
+        ok := total = Db.expected_sum db ~lo_page:0 ~hi_page:pages + (clients * txns);
+        Db.stop_daemons ctx db)
+  in
+  (try ignore (C.run ~until:600.0 cl)
+   with C.Worker_failed (name, e) ->
+     failwith (Printf.sprintf "minidb worker %s failed: %s" name (Printexc.to_string e)));
+  { elapsed = !t1 -. !t0; ok = !ok; server_breakdowns = []; daemon_wakeups = 0 }
+
+(* Placements for the Table 4 columns, on 2 nodes x 4 processors. *)
+
+(** Daemons get their own processor on node 0 ("EX" runs). *)
+let placement_extra_proc ~servers =
+  {
+    root_cpu = 0;
+    daemon_cpu = 0;
+    server_cpus = List.init servers (fun i -> if i = 0 then 1 else 3 + i);
+  }
+
+(** Exactly one processor per server: daemons share with server 1
+    ("EQ" runs). *)
+let placement_equal ~servers =
+  {
+    root_cpu = 0;
+    daemon_cpu = 0;
+    server_cpus = List.init servers (fun i -> if i = 0 then 0 else 3 + i);
+  }

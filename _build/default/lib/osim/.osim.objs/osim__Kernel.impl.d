@@ -1,0 +1,1 @@
+lib/osim/kernel.ml: Alpha Array Bytes Format Hashtbl List Mchan Printexc Printf Protocol Shasta Sim Vfs

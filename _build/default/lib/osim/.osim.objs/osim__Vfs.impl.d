@@ -1,0 +1,1 @@
+lib/osim/vfs.ml: Bytes Hashtbl Printf

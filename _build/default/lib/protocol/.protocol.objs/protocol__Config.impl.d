@@ -1,0 +1,1 @@
+lib/protocol/config.ml: Printf

@@ -1,0 +1,1 @@
+lib/protocol/directory.ml: Bytes Hashtbl List Option Ptypes Queue

@@ -1,0 +1,1 @@
+lib/protocol/engine.ml: Alpha Array Bytes Config Directory Format Hashtbl Int64 List Mchan Memimg Option Printf Ptypes Queue Sim String Sys

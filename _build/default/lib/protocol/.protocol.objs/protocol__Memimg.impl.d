@@ -1,0 +1,1 @@
+lib/protocol/memimg.ml: Alpha Bytes Format Hashtbl Int64 List Printf Sys

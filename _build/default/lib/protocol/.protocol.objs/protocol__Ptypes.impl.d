@@ -1,0 +1,1 @@
+lib/protocol/ptypes.ml: Bytes Format

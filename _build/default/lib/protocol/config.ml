@@ -1,0 +1,86 @@
+(** Protocol configuration: geometry, variant, consistency model, the
+    invalid-flag value, and the software cost model. *)
+
+(** Base-Shasta keeps a private copy of shared memory per process and
+    exchanges messages even between processes of one node; SMP-Shasta
+    (Section 2.3) lets processes of a node share memory through the
+    hardware, with private state tables kept consistent by selective
+    downgrade messages. *)
+type variant = Base | Smp
+
+(** Consistency model implemented by the protocol (Section 3.2.3):
+    [Rc] — Alpha-style relaxed model, stores are non-blocking and MBs
+    drain them; [Sc] — sequential consistency, every store miss stalls
+    until all invalidation acknowledgements are in. *)
+type model = Rc | Sc
+
+(** Software protocol occupancy costs (seconds); the wire costs live in
+    {!Mchan.Net.config}.  Defaults are calibrated so that the latency
+    microbenchmarks land near Section 6.1/6.2: ~20 us to fetch a 64-byte
+    block two hops away, 0.32/1.68 us for a Base/SMP memory barrier. *)
+type costs = {
+  miss_entry : float;  (** requester: enter protocol, allocate miss entry *)
+  send : float;  (** build + inject one message (user-level) *)
+  handler : float;  (** service one incoming request at the home *)
+  reply_process : float;  (** requester: integrate a reply *)
+  inval_apply : float;  (** write flag values, update tables *)
+  downgrade_apply : float;  (** private-state-table downgrade *)
+  intra_node_hit : float;  (** protocol entry resolved from the node's shared table *)
+  mb_base : float;  (** memory-barrier protocol check, Base-Shasta *)
+  mb_smp : float;  (** memory-barrier protocol check, SMP-Shasta *)
+  lock_acquire_queue : float;  (** message-passing lock bookkeeping *)
+}
+
+let default_costs =
+  {
+    miss_entry = 1.5e-6;
+    send = 0.5e-6;
+    handler = 2.5e-6;
+    reply_process = 1.5e-6;
+    inval_apply = 0.8e-6;
+    downgrade_apply = 0.8e-6;
+    intra_node_hit = 0.9e-6;
+    mb_base = 0.32e-6;
+    mb_smp = 1.68e-6;
+    lock_acquire_queue = 1.0e-6;
+  }
+
+type t = {
+  variant : variant;
+  model : model;
+  line_size : int;  (** bytes; typically 64 or 128 (Section 2.1) *)
+  shared_base : int;
+  shared_size : int;
+  flag32 : int32;  (** the per-4-byte-word invalid flag value (Section 2.2) *)
+  costs : costs;
+  direct_downgrade : bool;  (** Section 4.3.4 optimisation *)
+  max_outstanding_stores : int;  (** RC store buffer depth before stalling *)
+}
+
+let default =
+  {
+    variant = Smp;
+    model = Rc;
+    line_size = 64;
+    shared_base = 0x4000_0000;
+    shared_size = 8 * 1024 * 1024;
+    flag32 = 0xDEADBEEFl;
+    costs = default_costs;
+    direct_downgrade = true;
+    max_outstanding_stores = 16;
+  }
+
+let n_lines t = (t.shared_size + t.line_size - 1) / t.line_size
+
+let line_of_addr t addr =
+  let off = addr - t.shared_base in
+  if off < 0 || off >= t.shared_size then
+    invalid_arg (Printf.sprintf "address 0x%x outside the shared region" addr);
+  off / t.line_size
+
+let addr_of_line t line = t.shared_base + (line * t.line_size)
+
+let is_shared t addr = addr >= t.shared_base && addr < t.shared_base + t.shared_size
+
+let mb_cost t =
+  match t.variant with Base -> t.costs.mb_base | Smp -> t.costs.mb_smp

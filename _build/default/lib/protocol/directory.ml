@@ -1,0 +1,62 @@
+(** Per-home directory state.
+
+    A home domain keeps, for every block it is home to, the current owner
+    (a domain holding the block exclusive), the sharer set, and — while a
+    coherence transaction is in flight — a busy record.  Conflicting
+    requests arriving while busy are deferred in FIFO order, which is what
+    serialises writes to the same location (a requirement of all the
+    commercial memory models of Section 3.2.2). *)
+
+type txn = {
+  t_kind : Ptypes.req_kind;
+  t_requester_domain : Ptypes.domain_id;
+  t_requester_pid : int;
+  mutable t_awaiting : int;  (** outstanding invalidation acks / writeback *)
+  t_data : Bytes.t option;  (** snapshot to forward, when taken at txn start *)
+}
+
+type entry = {
+  block : Ptypes.block_id;
+  mutable owner : Ptypes.domain_id option;
+  mutable sharers : Ptypes.domain_id list;
+  mutable busy : txn option;
+  deferred : Ptypes.msg Queue.t;
+  next_seq : (Ptypes.domain_id, int) Hashtbl.t;
+      (** next sequence number per destination domain (see {!Ptypes.msg}) *)
+}
+
+type t = { entries : (Ptypes.block_id, entry) Hashtbl.t; home_domain : Ptypes.domain_id }
+
+let create ~home_domain = { entries = Hashtbl.create 1024; home_domain }
+
+(** New entries are born with the home domain as the only sharer: the
+    home's memory image is initialised with valid (zero) data. *)
+let entry t block =
+  match Hashtbl.find_opt t.entries block with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          block;
+          owner = None;
+          sharers = [ t.home_domain ];
+          busy = None;
+          deferred = Queue.create ();
+          next_seq = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace t.entries block e;
+      e
+
+let is_sharer e d = List.mem d e.sharers
+
+let add_sharer e d = if not (is_sharer e d) then e.sharers <- d :: e.sharers
+
+let remove_sharer e d = e.sharers <- List.filter (fun x -> x <> d) e.sharers
+
+(** [stamp e d] allocates the next sequence number for messages from this
+    entry's home to domain [d]. *)
+let stamp e d =
+  let n = Option.value (Hashtbl.find_opt e.next_seq d) ~default:1 in
+  Hashtbl.replace e.next_seq d (n + 1);
+  n

@@ -1,0 +1,1333 @@
+(** The Shasta coherence protocol engine.
+
+    One {!t} is the protocol instance for a whole cluster.  Processes are
+    attached to it and grouped into {e coherence domains}: one per process
+    in Base-Shasta, one per SMP node in SMP-Shasta.  The engine implements
+    a home-serialised directory invalidation protocol:
+
+    - all directory state changes for a block happen at its home domain,
+      which defers conflicting requests while a transaction is in flight
+      (this serialises writes to the same location);
+    - invalidation acknowledgements are collected at the home before the
+      grant is sent, so the [Sc] configuration gives sequential
+      consistency by construction and [Rc] simply allows stores to be
+      outstanding past the inline check;
+    - dirty blocks are recalled through the home (a 4-hop transfer where
+      the original Shasta forwards in 3; the constant is absorbed in the
+      cost calibration and noted in DESIGN.md).
+
+    Fiber-side entry points ([load_miss], [store_miss], [mb], [batch],
+    [sc_protocol], ...) are called from inside simulated processes and may
+    stall; [service] is the poll hook, called from scheduler context, and
+    only mutates state and sends messages. *)
+
+type miss_kind = MRead | MStore | MSc | MPrefetch
+
+type miss = {
+  m_block : int;
+  m_kind : miss_kind;
+  mutable m_done : bool;
+  mutable m_sc_ok : bool;
+  m_sc_store : (int * Alpha.Insn.width * int64) option;
+  mutable m_stores : (int * Alpha.Insn.width * int64) list;
+      (** stores recorded while the miss was outstanding, replayed over
+          arriving data (non-blocking stores, Section 3.2.3) *)
+}
+
+type pstats = {
+  mutable read_misses : int;
+  mutable store_misses : int;
+  mutable sc_misses : int;
+  mutable intra_hits : int;
+  mutable false_misses : int;
+  mutable downgrades_direct : int;
+  mutable downgrades_msg : int;
+  mutable read_stall : float;
+  mutable write_stall : float;
+  mutable mb_stall : float;
+  mutable messages_handled : int;
+  mutable reissued_stores : int;
+}
+
+let empty_pstats () =
+  {
+    read_misses = 0;
+    store_misses = 0;
+    sc_misses = 0;
+    intra_hits = 0;
+    false_misses = 0;
+    downgrades_direct = 0;
+    downgrades_msg = 0;
+    read_stall = 0.0;
+    write_stall = 0.0;
+    mb_stall = 0.0;
+    messages_handled = 0;
+    reissued_stores = 0;
+  }
+
+type pcb = {
+  pid : int;
+  proc : Sim.Proc.t;
+  dom : domain;
+  eng : t;
+  private_tab : Bytes.t;
+  mailbox : Ptypes.msg Mchan.Mailbox.t;
+  outstanding : (int, miss) Hashtbl.t;
+  mutable n_outstanding_stores : int;
+  in_app : bool ref;  (** false while in protocol/syscalls: enables direct downgrade *)
+  mutable in_batch : bool;
+  mutable batch_blocks : int list;
+  mutable deferred_flags : int list;  (** blocks whose flag writes are delayed (Section 4.1) *)
+  mutable watch_blocks : int list;  (** post-batch store-reissue watch *)
+  mutable reissue : (int * Alpha.Insn.width * int64) list;  (** (addr, w, v) to re-issue *)
+  mutable last_ll : int option;  (** block of the last LL whose line was exclusive *)
+  mutable parked : Ptypes.msg list;
+      (** replies that arrived ahead of their per-block sequence order *)
+  stats : pstats;
+}
+
+and domain = {
+  dom_id : int;
+  dom_node : int;
+  img : Memimg.t;
+  shared_tab : Bytes.t;  (** per-line node-level state *)
+  mutable members : pcb list;
+  dom_mailbox : Ptypes.msg Mchan.Mailbox.t;
+  dir : Directory.t;
+  pending_local : (int, local_txn) Hashtbl.t;
+      (** recalls waiting for intra-node private-table downgrades *)
+  applied_seq : (int, int) Hashtbl.t;
+      (** per block: how many home-originated ordered messages were applied *)
+  mutable parked_dom : Ptypes.msg list;
+      (** invalidations/recalls that arrived ahead of sequence order *)
+}
+
+and local_txn = { mutable lt_awaiting : int; lt_to_shared : bool }
+
+and t = {
+  cfg : Config.t;
+  net : Mchan.Net.t;
+  mutable domains : domain list;  (** most-recent first; use [domain_by_id] *)
+  domain_tbl : (int, domain) Hashtbl.t;
+  pcbs : (int, pcb) Hashtbl.t;
+  mutable home_domains : int array;
+  block_start : int array;  (** line -> first line of its block *)
+  block_len : int array;  (** first line -> block length in lines *)
+  home_override : int array;  (** per line: forced home domain, or -1 *)
+  mutable initialized : bool;
+}
+
+(* --- state table helpers --- *)
+
+let st_char = function
+  | Ptypes.Invalid -> 'I'
+  | Ptypes.Shared -> 'S'
+  | Ptypes.Exclusive -> 'E'
+  | Ptypes.Pending -> 'P'
+
+let st_of_char = function
+  | 'I' -> Ptypes.Invalid
+  | 'S' -> Ptypes.Shared
+  | 'E' -> Ptypes.Exclusive
+  | 'P' -> Ptypes.Pending
+  | c -> invalid_arg (Printf.sprintf "bad state char %c" c)
+
+let tab_get tab line = st_of_char (Bytes.get tab line)
+let tab_set tab line s = Bytes.set tab line (st_char s)
+
+(* Block-level event tracing for protocol debugging: set
+   SHASTA_DEBUG_BLOCK=<block id> to dump every transition of that block. *)
+let debug_block =
+  match Sys.getenv_opt "SHASTA_DEBUG_BLOCK" with Some s -> int_of_string s | None -> -1
+
+let dbg b fmt =
+  if b = debug_block then Format.eprintf (fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
+
+(* Per-(block, domain) ordering of home-originated messages. *)
+let msg_block_seq = function
+  | Ptypes.Data_reply { block; seq; _ }
+  | Ptypes.Ack_exclusive { block; seq; _ }
+  | Ptypes.Sc_result { block; seq; _ }
+  | Ptypes.Invalidate { block; seq; _ }
+  | Ptypes.Recall { block; seq; _ } ->
+      Some (block, seq)
+  | Ptypes.Request _ | Ptypes.Writeback _ | Ptypes.Inval_ack _ | Ptypes.Downgrade _
+  | Ptypes.Downgrade_ack _ ->
+      None
+
+let seq_expected d b = 1 + Option.value (Hashtbl.find_opt d.applied_seq b) ~default:0
+let seq_mark d b = Hashtbl.replace d.applied_seq b (seq_expected d b)
+
+let in_seq_order d msg =
+  match msg_block_seq msg with None -> true | Some (b, seq) -> seq = seq_expected d b
+
+let consume_seq d msg =
+  match msg_block_seq msg with Some (b, _) -> seq_mark d b | None -> ()
+
+
+let create ~cfg ~net =
+  let t =
+    {
+      cfg;
+      net;
+      domains = [];
+      domain_tbl = Hashtbl.create 32;
+      pcbs = Hashtbl.create 64;
+      home_domains = [||];
+      block_start = Array.init (Config.n_lines cfg) (fun i -> i);
+      block_len = Array.make (Config.n_lines cfg) 1;
+      home_override = Array.make (Config.n_lines cfg) (-1);
+      initialized = false;
+    }
+  in
+  (match cfg.Config.variant with
+  | Config.Smp ->
+      (* One domain per node, eagerly. *)
+      for node = 0 to (Mchan.Net.config net).Mchan.Net.nodes - 1 do
+        let d =
+          {
+            dom_id = node;
+            dom_node = node;
+            img =
+              Memimg.create ~base:cfg.Config.shared_base ~size:cfg.Config.shared_size
+                ~line_size:cfg.Config.line_size;
+            shared_tab = Bytes.make (Config.n_lines cfg) 'I';
+            members = [];
+            dom_mailbox = Mchan.Mailbox.create ~owner:(-1);
+            dir = Directory.create ~home_domain:node;
+            pending_local = Hashtbl.create 16;
+            applied_seq = Hashtbl.create 64;
+            parked_dom = [];
+          }
+        in
+        t.domains <- d :: t.domains;
+        Hashtbl.replace t.domain_tbl node d
+      done
+  | Config.Base -> ());
+  t
+
+let domain_by_id t id = Hashtbl.find t.domain_tbl id
+
+let fresh_domain t ~node ~id =
+  let d =
+    {
+      dom_id = id;
+      dom_node = node;
+      img =
+        Memimg.create ~base:t.cfg.Config.shared_base ~size:t.cfg.Config.shared_size
+          ~line_size:t.cfg.Config.line_size;
+      shared_tab = Bytes.make (Config.n_lines t.cfg) 'I';
+      members = [];
+      dom_mailbox = Mchan.Mailbox.create ~owner:id;
+      dir = Directory.create ~home_domain:id;
+      pending_local = Hashtbl.create 16;
+      applied_seq = Hashtbl.create 64;
+      parked_dom = [];
+    }
+  in
+  t.domains <- d :: t.domains;
+  Hashtbl.replace t.domain_tbl id d;
+  d
+
+(** [attach t proc] registers a simulated process with the protocol and
+    returns its control block.  In Base-Shasta this creates a new
+    coherence domain for the process; in SMP-Shasta it joins its node's
+    domain.  Also installs the poll hook and stall signal on [proc]. *)
+let attach t (proc : Sim.Proc.t) =
+  let node = proc.Sim.Proc.cpu.Sim.Proc.node_id in
+  let pid = proc.Sim.Proc.pid in
+  let dom =
+    match t.cfg.Config.variant with
+    | Config.Smp -> domain_by_id t node
+    | Config.Base -> fresh_domain t ~node ~id:pid
+  in
+  let pcb =
+    {
+      pid;
+      proc;
+      dom;
+      eng = t;
+      private_tab = Bytes.make (Config.n_lines t.cfg) 'I';
+      mailbox = Mchan.Mailbox.create ~owner:pid;
+      outstanding = Hashtbl.create 8;
+      n_outstanding_stores = 0;
+      in_app = ref true;
+      in_batch = false;
+      batch_blocks = [];
+      deferred_flags = [];
+      watch_blocks = [];
+      reissue = [];
+      last_ll = None;
+      parked = [];
+      stats = empty_pstats ();
+    }
+  in
+  dom.members <- pcb :: dom.members;
+  Hashtbl.replace t.pcbs pid pcb;
+  proc.Sim.Proc.stall_signal <- Some (Mchan.Net.node_signal t.net node);
+  pcb
+
+(** [set_block_size t ~addr ~len ~lines] makes every block overlapping
+    [\[addr, addr+len)] span [lines] consecutive coherence lines (the
+    variable-granularity support of Section 2.1).  Must be called before
+    [init]. *)
+let set_block_size t ~addr ~len ~lines =
+  if t.initialized then invalid_arg "set_block_size after init";
+  if lines <= 0 then invalid_arg "set_block_size: lines";
+  let first = Config.line_of_addr t.cfg addr in
+  let last = Config.line_of_addr t.cfg (addr + len - 1) in
+  (* Align block boundaries to multiples of [lines] within the region. *)
+  let l = ref first in
+  while !l <= last do
+    let blk_len = min lines (last - !l + 1) in
+    for k = !l to !l + blk_len - 1 do
+      t.block_start.(k) <- !l
+    done;
+    t.block_len.(!l) <- blk_len;
+    l := !l + blk_len
+  done
+
+let block_of_line t line = t.block_start.(line)
+let block_of_addr t addr = block_of_line t (Config.line_of_addr t.cfg addr)
+let lines_of_block t b = t.block_len.(b)
+
+let home_domain_of_block t b =
+  if t.home_override.(b) >= 0 then t.home_override.(b)
+  else
+    let n = Array.length t.home_domains in
+    t.home_domains.(b mod n)
+
+(** [set_home t ~addr ~len ~domain] — the "home placement optimisation"
+    used for FMM, LU-Contiguous and Ocean (Section 6.4): blocks in
+    [\[addr, addr+len)] are homed at [domain], typically the domain of
+    the processor that predominantly writes them.  Must precede [init]. *)
+let set_home t ~addr ~len ~domain =
+  if t.initialized then invalid_arg "set_home after init";
+  let first = Config.line_of_addr t.cfg addr in
+  let last = Config.line_of_addr t.cfg (addr + len - 1) in
+  for l = first to last do
+    t.home_override.(l) <- domain
+  done
+
+(** [init t ?homes ()] finalises setup: picks the home domains (default:
+    every domain), fills every image with the invalid-flag value, then
+    gives each block's home domain a valid zeroed copy. *)
+let init ?homes t =
+  if t.initialized then invalid_arg "Engine.init: already initialized";
+  t.initialized <- true;
+  let domains = List.rev t.domains in
+  t.home_domains <-
+    (match homes with
+    | Some hs -> Array.of_list hs
+    | None ->
+        (* Only domains with attached application processes can serve
+           directory requests; protocol processes (scheduling priority 1)
+           exist to service *other* domains' traffic and, in Base-Shasta,
+           have no application process in their own domain at all. *)
+        let app_domain d =
+          List.exists (fun m -> m.proc.Sim.Proc.priority = 0) d.members
+        in
+        let inhabited = List.filter app_domain domains in
+        let candidates =
+          if inhabited <> [] then inhabited
+          else List.filter (fun d -> d.members <> []) domains
+        in
+        let candidates = if candidates = [] then domains else candidates in
+        Array.of_list (List.map (fun d -> d.dom_id) candidates));
+  if Array.length t.home_domains = 0 then invalid_arg "Engine.init: no home domains";
+  let n_lines = Config.n_lines t.cfg in
+  List.iter
+    (fun d ->
+      for line = 0 to n_lines - 1 do
+        Memimg.write_flags d.img ~flag32:t.cfg.Config.flag32 ~line
+      done)
+    domains;
+  (* Home copies: zero data, Shared state. *)
+  let line = ref 0 in
+  while !line < n_lines do
+    let b = t.block_start.(!line) in
+    let len = t.block_len.(b) in
+    let home = domain_by_id t (home_domain_of_block t b) in
+    let zeros = Bytes.make (len * t.cfg.Config.line_size) '\000' in
+    Memimg.write_block home.img ~line:b zeros;
+    for k = b to b + len - 1 do
+      tab_set home.shared_tab k Ptypes.Shared
+    done;
+    line := b + len
+  done
+
+(* --- message plumbing --- *)
+
+let send_to_domain t ~cur ~from_node dst_domain msg =
+  let dst = domain_by_id t dst_domain in
+  Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:dst.dom_node
+    ~size:(Ptypes.msg_size msg) (fun () -> Mchan.Mailbox.push dst.dom_mailbox msg)
+
+let send_to_pid t ~cur ~from_node dst_pid msg =
+  let pcb = Hashtbl.find t.pcbs dst_pid in
+  Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:pcb.dom.dom_node
+    ~size:(Ptypes.msg_size msg) (fun () -> Mchan.Mailbox.push pcb.mailbox msg)
+
+(* --- state transitions applied at a domain --- *)
+
+let set_block_state_shared d t b s =
+  for k = b to b + lines_of_block t b - 1 do
+    tab_set d.shared_tab k s
+  done
+
+let set_block_state_private ?(why = "?") pcb t b s =
+  dbg b "[%.9f] PRIV pid%d blk=%d <- %c @ %s" (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid b
+    (Ptypes.state_to_char s) why;
+  for k = b to b + lines_of_block t b - 1 do
+    tab_set pcb.private_tab k s
+  done
+
+let batch_contains pcb b = List.mem b pcb.batch_blocks
+
+(* Replay every member's stores recorded against an outstanding miss on
+   block [b].  Arriving block data (a fetch reply or writeback) reflects
+   the home's version and would otherwise clobber locally-performed
+   non-blocking stores that are still waiting for their own grant —
+   the software analogue of merging dirty words on a cache fill. *)
+let replay_recorded_stores t d b =
+  ignore t;
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt m.outstanding b with
+      | Some miss ->
+          List.iter
+            (fun (addr, w, v) -> Memimg.write ~pid:m.pid d.img addr w v)
+            (List.rev miss.m_stores)
+      | None -> ())
+    d.members
+
+(** Write flag values into every line of a block, unless a member process
+    is mid-batch over the block, in which case the flag writes are
+    deferred until that process next enters the protocol (Section 4.1). *)
+let invalidate_block_data t d b =
+  let deferring =
+    List.filter (fun m -> m.in_batch && batch_contains m b) d.members
+  in
+  if deferring = [] then
+    for k = b to b + lines_of_block t b - 1 do
+      Memimg.write_flags d.img ~flag32:t.cfg.Config.flag32 ~line:k
+    done
+  else List.iter (fun m -> m.deferred_flags <- b :: m.deferred_flags) deferring
+
+(* Invalidate (shared -> invalid) at a domain; acks back to the home. *)
+let apply_invalidate t d ~cur ~home_domain b =
+  dbg b "[%.9f] INVAL at dom%d blk=%d" !cur d.dom_id b;
+  invalidate_block_data t d b;
+  set_block_state_shared d t b Ptypes.Invalid;
+  List.iter (fun m -> set_block_state_private ~why:"inval" m t b Ptypes.Invalid) d.members;
+  cur := !cur +. t.cfg.Config.costs.Config.inval_apply;
+  send_to_domain t ~cur ~from_node:d.dom_node home_domain
+    (Ptypes.Inval_ack { block = b; from_domain = d.dom_id })
+
+(* Complete a recall once all private-table downgrades are done. *)
+let complete_recall t d ~cur b ~to_shared ~home_domain =
+  dbg b "[%.9f] RECALL-DONE at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
+  let data = Memimg.read_block d.img ~line:b ~lines:(lines_of_block t b) in
+  if to_shared then begin
+    set_block_state_shared d t b Ptypes.Shared;
+    List.iter
+      (fun m ->
+        for k = b to b + lines_of_block t b - 1 do
+          if tab_get m.private_tab k = Ptypes.Exclusive then tab_set m.private_tab k Ptypes.Shared
+        done)
+      d.members
+  end
+  else begin
+    invalidate_block_data t d b;
+    set_block_state_shared d t b Ptypes.Invalid;
+    List.iter (fun m -> set_block_state_private ~why:"recall-inval" m t b Ptypes.Invalid) d.members
+  end;
+  send_to_domain t ~cur ~from_node:d.dom_node home_domain
+    (Ptypes.Writeback { block = b; data; from_domain = d.dom_id })
+
+(* Recall (exclusive -> shared/invalid) at the owning domain.  Private
+   state tables holding the block exclusive must be downgraded first:
+   directly when the holder is not in application code (Section 4.3.4),
+   via an explicit message otherwise (Section 2.3). *)
+let apply_recall t d ~cur ~servicer b ~to_shared ~home_domain =
+  dbg b "[%.9f] RECALL at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
+  (* Block intra-node exclusive grants while the recall is in flight. *)
+  set_block_state_shared d t b Ptypes.Pending;
+  let needs_downgrade m =
+    m.pid <> servicer
+    && (let rec any k =
+          k < b + lines_of_block t b
+          && (tab_get m.private_tab k = Ptypes.Exclusive || any (k + 1))
+        in
+        any b)
+  in
+  let pending = ref 0 in
+  List.iter
+    (fun m ->
+      if m.pid = servicer then
+        set_block_state_private ~why:"recall-self" m t b (if to_shared then Ptypes.Shared else Ptypes.Invalid)
+      else if needs_downgrade m then begin
+        if t.cfg.Config.direct_downgrade && not !(m.in_app) then begin
+          set_block_state_private ~why:"direct-downgrade" m t b (if to_shared then Ptypes.Shared else Ptypes.Invalid);
+          m.stats.downgrades_direct <- m.stats.downgrades_direct + 1;
+          cur := !cur +. t.cfg.Config.costs.Config.downgrade_apply
+        end
+        else begin
+          m.stats.downgrades_msg <- m.stats.downgrades_msg + 1;
+          incr pending;
+          send_to_pid t ~cur ~from_node:d.dom_node m.pid
+            (Ptypes.Downgrade
+               {
+                 block = b;
+                 to_state = (if to_shared then Ptypes.Shared else Ptypes.Invalid);
+                 to_pid = m.pid;
+                 from_domain = d.dom_id;
+               })
+        end
+      end)
+    d.members;
+  if !pending = 0 then complete_recall t d ~cur b ~to_shared ~home_domain
+  else
+    Hashtbl.replace d.pending_local b { lt_awaiting = !pending; lt_to_shared = to_shared }
+
+(* --- the home side --- *)
+
+let rec handle_request t home ~cur msg =
+  match msg with
+  | Ptypes.Request { kind; block = b; from_domain; from_pid } -> (
+      let entry = Directory.entry home.dir b in
+      match entry.Directory.busy with
+      | Some _ ->
+          dbg b "[%.9f] HOME defer blk=%d" !cur b;
+          Queue.push msg entry.Directory.deferred
+      | None -> (
+          cur := !cur +. t.cfg.Config.costs.Config.handler;
+          dbg b "[%.9f] HOME req %s blk=%d from dom%d pid%d owner=%s sharers=[%s]" !cur
+            (Format.asprintf "%a" Ptypes.pp_kind kind) b from_domain from_pid
+            (match entry.Directory.owner with Some o -> string_of_int o | None -> "-")
+            (String.concat "," (List.map string_of_int entry.Directory.sharers));
+          let reply_data ~exclusive =
+            let data = Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b) in
+            send_to_pid t ~cur ~from_node:home.dom_node from_pid
+              (Ptypes.Data_reply
+                 {
+                   block = b;
+                   data;
+                   exclusive;
+                   to_pid = from_pid;
+                   seq = Directory.stamp entry from_domain;
+                 })
+          in
+          match kind with
+          | Ptypes.Read -> (
+              match entry.Directory.owner with
+              | Some o when o <> from_domain ->
+                  entry.Directory.busy <-
+                    Some
+                      {
+                        Directory.t_kind = Ptypes.Read;
+                        t_requester_domain = from_domain;
+                        t_requester_pid = from_pid;
+                        t_awaiting = 1;
+                        t_data = None;
+                      };
+                  send_to_domain t ~cur ~from_node:home.dom_node o
+                    (Ptypes.Recall
+                       {
+                         block = b;
+                         to_shared = true;
+                         home_domain = home.dom_id;
+                         seq = Directory.stamp entry o;
+                       })
+              | Some _ ->
+                  (* The requester's domain already owns the block (a stale
+                     request); grant exclusivity again. *)
+                  send_to_pid t ~cur ~from_node:home.dom_node from_pid
+                    (Ptypes.Ack_exclusive
+                       { block = b; to_pid = from_pid; seq = Directory.stamp entry from_domain })
+              | None ->
+                  Directory.add_sharer entry from_domain;
+                  reply_data ~exclusive:false)
+          | Ptypes.Read_ex | Ptypes.Upgrade | Ptypes.Sc_upgrade -> (
+              let still_sharer = Directory.is_sharer entry from_domain in
+              if kind = Ptypes.Sc_upgrade && (entry.Directory.owner <> None || not still_sharer)
+              then
+                (* A failed SC must not send invalidations (livelock
+                   avoidance, Section 3.1.1). *)
+                send_to_pid t ~cur ~from_node:home.dom_node from_pid
+                  (Ptypes.Sc_result
+                     {
+                       block = b;
+                       ok = false;
+                       to_pid = from_pid;
+                       seq = Directory.stamp entry from_domain;
+                     })
+              else
+                match entry.Directory.owner with
+                | Some o when o <> from_domain ->
+                    entry.Directory.busy <-
+                      Some
+                        {
+                          Directory.t_kind = Ptypes.Read_ex;
+                          t_requester_domain = from_domain;
+                          t_requester_pid = from_pid;
+                          t_awaiting = 1;
+                          t_data = None;
+                        };
+                    send_to_domain t ~cur ~from_node:home.dom_node o
+                      (Ptypes.Recall
+                         {
+                           block = b;
+                           to_shared = false;
+                           home_domain = home.dom_id;
+                           seq = Directory.stamp entry o;
+                         })
+                | Some _ ->
+                    send_to_pid t ~cur ~from_node:home.dom_node from_pid
+                      (Ptypes.Ack_exclusive
+                         { block = b; to_pid = from_pid; seq = Directory.stamp entry from_domain })
+                | None ->
+                    (* Upgrades from a domain that lost its copy are
+                       promoted to full read-exclusives. *)
+                    let kind =
+                      if kind = Ptypes.Upgrade && not still_sharer then Ptypes.Read_ex else kind
+                    in
+                    (* Snapshot data before invalidating anyone (the home
+                       itself may be a sharer). *)
+                    let data =
+                      if kind = Ptypes.Read_ex then
+                        Some (Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b))
+                      else None
+                    in
+                    let others =
+                      List.filter (fun s -> s <> from_domain) entry.Directory.sharers
+                    in
+                    let awaiting = ref 0 in
+                    List.iter
+                      (fun s ->
+                        incr awaiting;
+                        let msg =
+                          Ptypes.Invalidate
+                            { block = b; home_domain = home.dom_id; seq = Directory.stamp entry s }
+                        in
+                        if s = home.dom_id then
+                          (* Self-invalidation goes through the ordered
+                             local mailbox so that a pending reply to a
+                             local process is applied first. *)
+                          Mchan.Mailbox.push home.dom_mailbox msg
+                        else send_to_domain t ~cur ~from_node:home.dom_node s msg)
+                      others;
+                    let txn =
+                      {
+                        Directory.t_kind = kind;
+                        t_requester_domain = from_domain;
+                        t_requester_pid = from_pid;
+                        t_awaiting = !awaiting;
+                        t_data = data;
+                      }
+                    in
+                    if !awaiting = 0 then grant t home ~cur entry txn
+                    else entry.Directory.busy <- Some txn)))
+  | _ -> invalid_arg "handle_request: not a request"
+
+(* Grant the pending exclusive transaction: all invalidations are done. *)
+and grant t home ~cur entry txn =
+  let b = entry.Directory.block in
+  let pid = txn.Directory.t_requester_pid in
+  dbg b "[%.9f] HOME grant blk=%d kind=%s to dom%d pid%d" !cur b
+    (Format.asprintf "%a" Ptypes.pp_kind txn.Directory.t_kind)
+    txn.Directory.t_requester_domain pid;
+  let rdom = txn.Directory.t_requester_domain in
+  (match txn.Directory.t_kind with
+  | Ptypes.Read_ex ->
+      let data =
+        match txn.Directory.t_data with
+        | Some d -> d
+        | None -> Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b)
+      in
+      send_to_pid t ~cur ~from_node:home.dom_node pid
+        (Ptypes.Data_reply
+           { block = b; data; exclusive = true; to_pid = pid; seq = Directory.stamp entry rdom })
+  | Ptypes.Upgrade ->
+      send_to_pid t ~cur ~from_node:home.dom_node pid
+        (Ptypes.Ack_exclusive { block = b; to_pid = pid; seq = Directory.stamp entry rdom })
+  | Ptypes.Sc_upgrade ->
+      send_to_pid t ~cur ~from_node:home.dom_node pid
+        (Ptypes.Sc_result { block = b; ok = true; to_pid = pid; seq = Directory.stamp entry rdom })
+  | Ptypes.Read -> invalid_arg "grant: read transactions complete via writeback");
+  entry.Directory.owner <- Some txn.Directory.t_requester_domain;
+  entry.Directory.sharers <- [];
+  finish_txn t home ~cur entry
+
+and finish_txn t home ~cur entry =
+  entry.Directory.busy <- None;
+  (* Drain deferred requests until one starts a new transaction (which
+     re-busies the entry) or the queue empties: a request that completes
+     immediately must not strand those queued behind it. *)
+  let rec drain () =
+    if entry.Directory.busy = None then
+      match Queue.take_opt entry.Directory.deferred with
+      | None -> ()
+      | Some msg ->
+          handle_request t home ~cur msg;
+          drain ()
+  in
+  drain ()
+
+let handle_writeback t home ~cur b data ~from_domain =
+  let entry = Directory.entry home.dir b in
+  match entry.Directory.busy with
+  | None -> invalid_arg "writeback with no transaction"
+  | Some txn -> (
+      cur := !cur +. t.cfg.Config.costs.Config.handler;
+      dbg b "[%.9f] HOME writeback blk=%d txn=%s from dom%d" !cur b
+        (Format.asprintf "%a" Ptypes.pp_kind txn.Directory.t_kind) from_domain;
+      match txn.Directory.t_kind with
+      | Ptypes.Read ->
+          (* Downgrade-to-shared recall: the home takes a valid copy.
+             When the recalled owner *is* the home domain the data is
+             already in this image — and possibly newer than the
+             snapshot (a local store may have landed since), so writing
+             the snapshot back would lose it. *)
+          let data =
+            if from_domain = home.dom_id then
+              Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b)
+            else begin
+              Memimg.write_block home.img ~line:b data;
+              replay_recorded_stores t home b;
+              data
+            end
+          in
+          set_block_state_shared home t b Ptypes.Shared;
+          entry.Directory.owner <- None;
+          entry.Directory.sharers <- [];
+          List.iter (Directory.add_sharer entry)
+            [ from_domain; home.dom_id; txn.Directory.t_requester_domain ];
+          send_to_pid t ~cur ~from_node:home.dom_node txn.Directory.t_requester_pid
+            (Ptypes.Data_reply
+               {
+                 block = b;
+                 data;
+                 exclusive = false;
+                 to_pid = txn.Directory.t_requester_pid;
+                 seq = Directory.stamp entry txn.Directory.t_requester_domain;
+               });
+          finish_txn t home ~cur entry
+      | Ptypes.Read_ex | Ptypes.Upgrade | Ptypes.Sc_upgrade ->
+          (* Recall-invalidate: ownership moves; the home image stays
+             invalid (flags already there or written by apply_recall at
+             the old owner; the home was not a sharer). *)
+          entry.Directory.owner <- Some txn.Directory.t_requester_domain;
+          entry.Directory.sharers <- [];
+          (match txn.Directory.t_kind with
+          | Ptypes.Sc_upgrade ->
+              send_to_pid t ~cur ~from_node:home.dom_node txn.Directory.t_requester_pid
+                (Ptypes.Sc_result
+                   {
+                     block = b;
+                     ok = true;
+                     to_pid = txn.Directory.t_requester_pid;
+                     seq = Directory.stamp entry txn.Directory.t_requester_domain;
+                   })
+          | _ ->
+              send_to_pid t ~cur ~from_node:home.dom_node txn.Directory.t_requester_pid
+                (Ptypes.Data_reply
+                   {
+                     block = b;
+                     data;
+                     exclusive = true;
+                     to_pid = txn.Directory.t_requester_pid;
+                     seq = Directory.stamp entry txn.Directory.t_requester_domain;
+                   }));
+          finish_txn t home ~cur entry)
+
+let handle_inval_ack t home ~cur b =
+  let entry = Directory.entry home.dir b in
+  match entry.Directory.busy with
+  | None -> invalid_arg "inval ack with no transaction"
+  | Some txn ->
+      txn.Directory.t_awaiting <- txn.Directory.t_awaiting - 1;
+      if txn.Directory.t_awaiting = 0 then grant t home ~cur entry txn
+
+(* --- the requester side --- *)
+
+let apply_reply t pcb ~cur msg =
+  let d = pcb.dom in
+  match msg with
+  | Ptypes.Data_reply { block = b; data; exclusive; _ } ->
+      cur := !cur +. t.cfg.Config.costs.Config.reply_process;
+      dbg b "[%.9f] REPLY data blk=%d excl=%b at pid%d dom%d (outstanding=%b)" !cur b exclusive
+        pcb.pid d.dom_id (Hashtbl.mem pcb.outstanding b);
+      Memimg.write_block d.img ~line:b data;
+      replay_recorded_stores t d b;
+      (match Hashtbl.find_opt pcb.outstanding b with
+      | None -> () (* e.g. a prefetch raced with an invalidation *)
+      | Some miss ->
+          ignore miss.m_stores (* replayed above, together with siblings' *);
+          let s = if exclusive then Ptypes.Exclusive else Ptypes.Shared in
+          set_block_state_shared d t b s;
+          set_block_state_private ~why:"data-reply" pcb t b s;
+          miss.m_done <- true;
+          Hashtbl.remove pcb.outstanding b;
+          if miss.m_kind = MStore then pcb.n_outstanding_stores <- pcb.n_outstanding_stores - 1)
+  | Ptypes.Ack_exclusive { block = b; _ } ->
+      cur := !cur +. t.cfg.Config.costs.Config.reply_process;
+      dbg b "[%.9f] REPLY ack_excl blk=%d at pid%d dom%d" !cur b pcb.pid d.dom_id;
+      (match Hashtbl.find_opt pcb.outstanding b with
+      | None -> ()
+      | Some miss ->
+          (* A sibling's fetch may have overwritten our early-visible
+             stores; put them back now that we own the block. *)
+          replay_recorded_stores t d b;
+          set_block_state_shared d t b Ptypes.Exclusive;
+          set_block_state_private ~why:"ack-excl" pcb t b Ptypes.Exclusive;
+          miss.m_done <- true;
+          Hashtbl.remove pcb.outstanding b;
+          if miss.m_kind = MStore then pcb.n_outstanding_stores <- pcb.n_outstanding_stores - 1)
+  | Ptypes.Sc_result { block = b; ok; _ } ->
+      cur := !cur +. t.cfg.Config.costs.Config.reply_process;
+      (match Hashtbl.find_opt pcb.outstanding b with
+      | None -> ()
+      | Some miss ->
+          let really_ok = ref ok in
+          dbg b "[%.9f] SC_RESULT pid%d ok=%b armed=%b" !cur pcb.pid ok
+            (match miss.m_sc_store with
+             | Some (a, _, _) -> Memimg.monitor_armed d.img ~pid:pcb.pid a
+             | None -> false);
+          if ok then begin
+            (* The home granted exclusivity either way. *)
+            set_block_state_shared d t b Ptypes.Exclusive;
+            set_block_state_private ~why:"sc-ok" pcb t b Ptypes.Exclusive;
+            match miss.m_sc_store with
+            | Some (addr, w, v) ->
+                (* The grant proves no *remote* write intervened, but a
+                   sibling's store or a newly fetched copy of the block
+                   since our LL shows as a broken hardware monitor: the
+                   SC must then fail (spuriously, which Alpha allows)
+                   rather than complete against a stale LL value. *)
+                if Memimg.monitor_armed d.img ~pid:pcb.pid addr then
+                  Memimg.write ~pid:pcb.pid d.img addr w v
+                else really_ok := false
+            | None -> ()
+          end;
+          miss.m_sc_ok <- !really_ok;
+          miss.m_done <- true;
+          Hashtbl.remove pcb.outstanding b)
+  | Ptypes.Downgrade { block = b; to_state; from_domain; _ } ->
+      cur := !cur +. t.cfg.Config.costs.Config.downgrade_apply;
+      set_block_state_private ~why:"downgrade-msg" pcb t b to_state;
+      send_to_domain t ~cur ~from_node:d.dom_node from_domain
+        (Ptypes.Downgrade_ack { block = b; from_pid = pcb.pid })
+  | _ -> invalid_arg "apply_reply: unexpected message"
+
+let handle_domain_msg t d ~cur ~servicer msg =
+  match msg with
+  | Ptypes.Request _ -> handle_request t d ~cur msg
+  | Ptypes.Invalidate { block = b; home_domain; seq = _ } ->
+      apply_invalidate t d ~cur ~home_domain b
+  | Ptypes.Recall { block = b; to_shared; home_domain; seq = _ } ->
+      cur := !cur +. t.cfg.Config.costs.Config.handler;
+      apply_recall t d ~cur ~servicer b ~to_shared ~home_domain
+  | Ptypes.Writeback { block = b; data; from_domain } ->
+      handle_writeback t d ~cur b data ~from_domain
+  | Ptypes.Inval_ack { block = b; _ } ->
+      cur := !cur +. t.cfg.Config.costs.Config.reply_process;
+      handle_inval_ack t d ~cur b
+  | Ptypes.Downgrade_ack { block = b; _ } -> (
+      match Hashtbl.find_opt d.pending_local b with
+      | None -> ()
+      | Some lt ->
+          lt.lt_awaiting <- lt.lt_awaiting - 1;
+          if lt.lt_awaiting = 0 then begin
+            Hashtbl.remove d.pending_local b;
+            let home_domain = home_domain_of_block t b in
+            complete_recall t d ~cur b ~to_shared:lt.lt_to_shared ~home_domain
+          end)
+  | Ptypes.Data_reply _ | Ptypes.Ack_exclusive _ | Ptypes.Sc_result _ | Ptypes.Downgrade _ ->
+      invalid_arg "handle_domain_msg: process-addressed message in domain mailbox"
+
+(** [service pcb] is the poll hook: drains this process's own mailbox
+    (replies may only be handled by the requester — the limitation noted
+    in Section 6.5) and then the domain mailbox, which any local process
+    may service.  Returns the CPU seconds consumed.  Never called from
+    fiber context. *)
+let service pcb =
+  let t = pcb.eng in
+  let d = pcb.dom in
+  let start = Sim.Engine.now (Mchan.Net.engine t.net) in
+  let cur = ref start in
+  let apply_own msg =
+    pcb.stats.messages_handled <- pcb.stats.messages_handled + 1;
+    consume_seq d msg;
+    apply_reply t pcb ~cur msg
+  in
+  let apply_dom msg =
+    pcb.stats.messages_handled <- pcb.stats.messages_handled + 1;
+    consume_seq d msg;
+    handle_domain_msg t d ~cur ~servicer:pcb.pid msg
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* 1. Parked replies of this process that are now in order. *)
+    let ready, rest = List.partition (in_seq_order d) pcb.parked in
+    if ready <> [] then begin
+      pcb.parked <- rest;
+      List.iter apply_own ready;
+      progress := true
+    end;
+    (* 2. This process's own mailbox (only the requester may handle its
+       replies, Section 6.5). *)
+    (match Mchan.Mailbox.pop pcb.mailbox with
+    | Some msg ->
+        progress := true;
+        if in_seq_order d msg then apply_own msg else pcb.parked <- pcb.parked @ [ msg ]
+    | None -> ());
+    (* 3. Parked domain-addressed messages now in order. *)
+    let ready, rest = List.partition (in_seq_order d) d.parked_dom in
+    if ready <> [] then begin
+      d.parked_dom <- rest;
+      List.iter apply_dom ready;
+      progress := true
+    end;
+    (* 4. The shared domain mailbox (any local process may serve it). *)
+    (match Mchan.Mailbox.pop d.dom_mailbox with
+    | Some msg ->
+        progress := true;
+        if in_seq_order d msg then apply_dom msg else d.parked_dom <- d.parked_dom @ [ msg ]
+    | None -> ())
+  done;
+  (* A sibling's parked reply may have become applicable through our
+     domain-side work.  If that sibling is signal-waiting it will never
+     look again on its own, so wake the node; a running or ready sibling
+     polls soon anyway (and pulsing for it would ping-pong the waiters
+     on this node forever). *)
+  if
+    List.exists
+      (fun m ->
+        m != pcb
+        && m.proc.Sim.Proc.state = Sim.Proc.Waiting
+        && List.exists (in_seq_order d) m.parked)
+      d.members
+  then Sim.Signal.pulse (Mchan.Net.node_signal t.net d.dom_node);
+  !cur -. start
+
+(** In SMP-Shasta, processes on the same node can also serve each other's
+    {e domain} traffic; this hook additionally drains the mailboxes of
+    sibling processes' pending work when they are descheduled is not
+    modelled — requests are domain-addressed so no forwarding is needed. *)
+
+(* --- fiber-side entry points --- *)
+
+let charge _pcb dt = if dt > 0.0 then Sim.Proc.work dt
+
+let stall_until pcb ~bucket pred =
+  let eng = Mchan.Net.engine pcb.eng.net in
+  let t0 = Sim.Engine.now eng in
+  Sim.Proc.stall pred;
+  let dt = Sim.Engine.now eng -. t0 in
+  (match bucket with
+  | `Read -> pcb.stats.read_stall <- pcb.stats.read_stall +. dt
+  | `Write -> pcb.stats.write_stall <- pcb.stats.write_stall +. dt
+  | `Mb -> pcb.stats.mb_stall <- pcb.stats.mb_stall +. dt
+  | `None -> ());
+  dt
+
+let line_state pcb addr =
+  let line = Config.line_of_addr pcb.eng.cfg addr in
+  (tab_get pcb.private_tab line, tab_get pcb.dom.shared_tab line)
+
+(* Issue a request to the home; non-blocking (caller stalls if desired). *)
+let issue pcb b kind mkind ?(sc_store = None) () =
+  let t = pcb.eng in
+  let miss =
+    { m_block = b; m_kind = mkind; m_done = false; m_sc_ok = false; m_sc_store = sc_store; m_stores = [] }
+  in
+  (match Hashtbl.find_opt pcb.outstanding b with
+  | Some old ->
+      Format.eprintf "ISSUE COLLISION pid%d blk=%d new=%s old=%s old_done=%b@." pcb.pid b
+        (match mkind with MRead -> "read" | MStore -> "store" | MSc -> "sc" | MPrefetch -> "pf")
+        (match old.m_kind with MRead -> "read" | MStore -> "store" | MSc -> "sc" | MPrefetch -> "pf")
+        old.m_done
+  | None -> ());
+  Hashtbl.replace pcb.outstanding b miss;
+  if mkind = MStore then pcb.n_outstanding_stores <- pcb.n_outstanding_stores + 1;
+  (match kind with
+  | Ptypes.Read | Ptypes.Read_ex ->
+      set_block_state_shared pcb.dom t b Ptypes.Pending;
+      set_block_state_private ~why:"issue" pcb t b Ptypes.Pending
+  | Ptypes.Upgrade | Ptypes.Sc_upgrade ->
+      (* Keep the data readable while upgrading: only mark pending in the
+         tables, the image still holds valid data. *)
+      set_block_state_shared pcb.dom t b Ptypes.Pending;
+      set_block_state_private ~why:"issue" pcb t b Ptypes.Pending);
+  let cur = ref (Sim.Engine.now (Mchan.Net.engine t.net)) in
+  dbg b "[%.9f] ISSUE %s blk=%d by pid%d dom%d" !cur
+    (Format.asprintf "%a" Ptypes.pp_kind kind) b pcb.pid pcb.dom.dom_id;
+  send_to_domain t ~cur ~from_node:pcb.dom.dom_node (home_domain_of_block t b)
+    (Ptypes.Request { kind; block = b; from_domain = pcb.dom.dom_id; from_pid = pcb.pid });
+  charge pcb t.cfg.Config.costs.Config.send;
+  miss
+
+(* Reissue stores that executed after a batch while their line had been
+   downgraded (Section 4.1), and apply deferred flag writes.  Runs at
+   every protocol entry outside a batch. *)
+let rec apply_deferred pcb =
+  if not pcb.in_batch then begin
+    let t = pcb.eng in
+    (match pcb.deferred_flags with
+    | [] -> ()
+    | blocks ->
+        pcb.deferred_flags <- [];
+        List.iter
+          (fun b ->
+            (* Only flag lines that are still invalid. *)
+            let still_invalid = tab_get pcb.dom.shared_tab b = Ptypes.Invalid in
+            if still_invalid then
+              for k = b to b + lines_of_block t b - 1 do
+                Memimg.write_flags pcb.dom.img ~flag32:t.cfg.Config.flag32 ~line:k
+              done)
+          blocks);
+    pcb.watch_blocks <- [];
+    match pcb.reissue with
+    | [] -> ()
+    | stores ->
+        pcb.reissue <- [];
+        List.iter
+          (fun (addr, w, v) ->
+            pcb.stats.reissued_stores <- pcb.stats.reissued_stores + 1;
+            reissue_store pcb addr w v)
+          (List.rev stores)
+  end
+
+and reissue_store pcb addr w v =
+  let t = pcb.eng in
+  let b = block_of_addr t addr in
+  let _, shared = line_state pcb addr in
+  match shared with
+  | Ptypes.Exclusive ->
+      set_block_state_private ~why:"reissue-E" pcb t b Ptypes.Exclusive;
+      Memimg.write ~pid:pcb.pid pcb.dom.img addr w v
+  | Ptypes.Shared | Ptypes.Invalid | Ptypes.Pending -> (
+      match Hashtbl.find_opt pcb.outstanding b with
+      | Some miss -> miss.m_stores <- (addr, w, v) :: miss.m_stores
+      | None ->
+          let kind = if shared = Ptypes.Shared then Ptypes.Upgrade else Ptypes.Read_ex in
+          let miss = issue pcb b kind MStore () in
+          miss.m_stores <- [ (addr, w, v) ])
+
+(* Ensure the block is readable; blocking.
+
+   The protocol-entry cost is paid up front: between the final state
+   inspection and the caller's access there must be no suspension
+   (Section 2.3's check/access atomicity — a [charge] yields to the
+   scheduler, during which a recall could invalidate the line under us). *)
+let ensure_read pcb addr =
+  let t = pcb.eng in
+  let b = block_of_addr t addr in
+  charge pcb t.cfg.Config.costs.Config.intra_node_hit;
+  let rec go () =
+    match Hashtbl.find_opt pcb.outstanding b with
+    | Some miss ->
+        ignore (stall_until pcb ~bucket:`Read (fun () -> miss.m_done));
+        go ()
+    | None -> (
+        let _, shared = line_state pcb addr in
+        match shared with
+        | Ptypes.Shared | Ptypes.Exclusive ->
+            (* Intra-node resolution: another process of the domain holds
+               the data; just refresh the private table. *)
+            pcb.stats.intra_hits <- pcb.stats.intra_hits + 1;
+            set_block_state_private ~why:"intra-read" pcb t b
+              (if shared = Ptypes.Exclusive then Ptypes.Exclusive else Ptypes.Shared)
+        | Ptypes.Invalid | Ptypes.Pending ->
+            pcb.stats.read_misses <- pcb.stats.read_misses + 1;
+            let miss = issue pcb b Ptypes.Read MRead () in
+            ignore (stall_until pcb ~bucket:`Read (fun () -> miss.m_done));
+            go ())
+  in
+  go ()
+
+let flag_value t (w : Alpha.Insn.width) =
+  let f32 = t.cfg.Config.flag32 in
+  match w with
+  | Alpha.Insn.W32 -> Int64.of_int32 f32
+  | Alpha.Insn.W64 ->
+      let lo = Int64.logand (Int64.of_int32 f32) 0xFFFFFFFFL in
+      Int64.logor (Int64.shift_left lo 32) lo
+
+(** [load_miss pcb value addr w] — the slow path of the inline load check:
+    the loaded [value] equalled the flag.  Distinguishes false misses from
+    real ones; returns the definitive value.  Loops like the re-executed
+    inline check does: the line may be invalidated again in the very poll
+    pass that completed the miss (reply and a later invalidation applied
+    back-to-back, in order). *)
+let rec load_miss pcb addr w =
+  let t = pcb.eng in
+  charge pcb t.cfg.Config.costs.Config.miss_entry;
+  apply_deferred pcb;
+  let _, shared = line_state pcb addr in
+  match shared with
+  | Ptypes.Shared | Ptypes.Exclusive ->
+      (* False miss: the data genuinely contains the flag value. *)
+      pcb.stats.false_misses <- pcb.stats.false_misses + 1;
+      Memimg.read pcb.dom.img addr w
+  | Ptypes.Invalid | Ptypes.Pending ->
+      ensure_read pcb addr;
+      let v = Memimg.read pcb.dom.img addr w in
+      if v = flag_value t w then load_miss pcb addr w else v
+
+(* Ensure the block is writable.  Like [ensure_read], all costs are
+   charged before the final state inspection: the caller's store follows
+   with no intervening suspension, so the exclusivity decision cannot go
+   stale (the Section 2.3 race).  For blocking (SC) stores the loop
+   re-inspects after every stall; for non-blocking stores an outstanding
+   miss is enough — [raw_write] records the store for replay. *)
+let ensure_write pcb addr ~blocking =
+  let t = pcb.eng in
+  let b = block_of_addr t addr in
+  charge pcb t.cfg.Config.costs.Config.intra_node_hit;
+  let rec go () =
+    match Hashtbl.find_opt pcb.outstanding b with
+    | Some miss ->
+        if blocking then begin
+          ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
+          go ()
+        end
+        (* Non-blocking: the store will be recorded against the
+           outstanding miss by [raw_write]. *)
+    | None -> (
+        let _, shared = line_state pcb addr in
+        match shared with
+        | Ptypes.Exclusive ->
+            pcb.stats.intra_hits <- pcb.stats.intra_hits + 1;
+            set_block_state_private ~why:"intra-write" pcb t b Ptypes.Exclusive
+        | Ptypes.Shared ->
+            pcb.stats.store_misses <- pcb.stats.store_misses + 1;
+            let miss = issue pcb b Ptypes.Upgrade MStore () in
+            if blocking then begin
+              ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
+              go ()
+            end
+        | Ptypes.Invalid ->
+            pcb.stats.store_misses <- pcb.stats.store_misses + 1;
+            let miss = issue pcb b Ptypes.Read_ex MStore () in
+            if blocking then begin
+              ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
+              go ()
+            end
+        | Ptypes.Pending ->
+            (* A recall of our exclusive copy, or a sibling's miss, is in
+               flight: go through the home. *)
+            pcb.stats.store_misses <- pcb.stats.store_misses + 1;
+            let miss = issue pcb b Ptypes.Read_ex MStore () in
+            if blocking then begin
+              ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
+              go ()
+            end)
+  in
+  go ()
+
+(** [store_miss pcb addr] — slow path of the inline store check.  Under
+    [Sc] the store stalls until all invalidations are acknowledged; under
+    [Rc] it is non-blocking, bounded by [max_outstanding_stores]. *)
+let store_miss pcb addr =
+  let t = pcb.eng in
+  charge pcb t.cfg.Config.costs.Config.miss_entry;
+  apply_deferred pcb;
+  let blocking = t.cfg.Config.model = Config.Sc in
+  if (not blocking) && pcb.n_outstanding_stores >= t.cfg.Config.max_outstanding_stores then
+    ignore
+      (stall_until pcb ~bucket:`Write (fun () ->
+           pcb.n_outstanding_stores < t.cfg.Config.max_outstanding_stores));
+  ensure_write pcb addr ~blocking
+
+(** Raw memory access used by the runtime for the actual load/store
+    instructions.  Stores are intercepted: while a miss is outstanding on
+    the block, the store is recorded for replay over the arriving data;
+    after a batch, stores to since-downgraded lines are recorded for
+    reissue (Section 4.1). *)
+let raw_read pcb addr w = Memimg.read pcb.dom.img addr w
+
+(** Region copies for OS syscall buffers (post-validation DMA). *)
+let raw_blit_out pcb ~addr ~len buf off = Memimg.blit_out pcb.dom.img ~addr ~len buf off
+
+let raw_blit_in pcb ~addr buf off len = Memimg.blit_in pcb.dom.img ~addr buf off len
+
+(** Raw hardware LL/SC against the node image (monitors per process). *)
+let raw_ll pcb addr w = Memimg.ll pcb.dom.img ~pid:pcb.pid addr w
+
+let raw_sc pcb addr w v = Memimg.sc pcb.dom.img ~pid:pcb.pid addr w v
+
+let raw_write pcb addr w v =
+  let t = pcb.eng in
+  let b = block_of_addr t addr in
+  dbg b "[%.9f] WRITE 0x%x=%Ld pid%d dom%d (outstanding=%b st=%c/%c)"
+    (Sim.Engine.now (Mchan.Net.engine t.net)) addr v pcb.pid pcb.dom.dom_id
+    (Hashtbl.mem pcb.outstanding b)
+    (Ptypes.state_to_char (tab_get pcb.private_tab (Config.line_of_addr t.cfg addr)))
+    (Ptypes.state_to_char (tab_get pcb.dom.shared_tab (Config.line_of_addr t.cfg addr)));
+  (match Hashtbl.find_opt pcb.outstanding b with
+  | Some miss -> miss.m_stores <- (addr, w, v) :: miss.m_stores
+  | None ->
+      if List.mem b pcb.watch_blocks then begin
+        let _, shared = line_state pcb addr in
+        match shared with
+        | Ptypes.Exclusive -> ()
+        | Ptypes.Shared | Ptypes.Invalid | Ptypes.Pending ->
+            pcb.reissue <- (addr, w, v) :: pcb.reissue
+      end);
+  Memimg.write ~pid:pcb.pid pcb.dom.img addr w v
+
+(** [mb pcb] — the protocol part of a memory barrier: complete all
+    outstanding (non-blocking) stores and service pending invalidations. *)
+let mb pcb =
+  let t = pcb.eng in
+  charge pcb (Config.mb_cost t.cfg);
+  apply_deferred pcb;
+  if pcb.n_outstanding_stores > 0 then
+    ignore (stall_until pcb ~bucket:`Mb (fun () -> pcb.n_outstanding_stores = 0))
+
+(** [poll pcb] — fiber-side poll (the inline 3-instruction poll's cycle
+    cost is charged by the interpreter); message servicing itself happens
+    through the scheduler's poll hook, so nothing to do here beyond
+    deferred work. *)
+let poll pcb = apply_deferred pcb
+
+(** [batch pcb accesses] — the batch miss handler (Sections 2.2, 4.1):
+    bring every line of the batch into the needed state, issuing the
+    fetches in parallel, then let the batched code run.  Lines that are
+    invalidated or downgraded before the batched code executes are
+    handled by deferred flag writes and store reissues. *)
+let batch pcb accesses =
+  let t = pcb.eng in
+  charge pcb t.cfg.Config.costs.Config.miss_entry;
+  apply_deferred pcb;
+  let blocks_of (addr, w, _) =
+    (* An access can straddle a block boundary only if misaligned, which
+       the interpreter rejects; a single block per access suffices. *)
+    ignore w;
+    block_of_addr t addr
+  in
+  pcb.in_batch <- true;
+  pcb.batch_blocks <- List.sort_uniq compare (List.map blocks_of accesses);
+  let misses = ref [] in
+  List.iter
+    (fun (addr, _w, kind) ->
+      let b = block_of_addr t addr in
+      match Hashtbl.find_opt pcb.outstanding b with
+      | Some miss -> misses := miss :: !misses
+      | None -> (
+          let _, shared = line_state pcb addr in
+          match (kind, shared) with
+          | _, Ptypes.Exclusive ->
+              set_block_state_private pcb t b Ptypes.Exclusive
+          | Alpha.Insn.Load_acc, Ptypes.Shared ->
+              set_block_state_private pcb t b Ptypes.Shared
+          | Alpha.Insn.Load_acc, (Ptypes.Invalid | Ptypes.Pending) ->
+              pcb.stats.read_misses <- pcb.stats.read_misses + 1;
+              misses := issue pcb b Ptypes.Read MRead () :: !misses
+          | Alpha.Insn.Store_acc, Ptypes.Shared ->
+              pcb.stats.store_misses <- pcb.stats.store_misses + 1;
+              misses := issue pcb b Ptypes.Upgrade MStore () :: !misses
+          | Alpha.Insn.Store_acc, (Ptypes.Invalid | Ptypes.Pending) ->
+              pcb.stats.store_misses <- pcb.stats.store_misses + 1;
+              misses := issue pcb b Ptypes.Read_ex MStore () :: !misses))
+    accesses;
+  (match !misses with
+  | [] -> ()
+  | ms -> ignore (stall_until pcb ~bucket:`Read (fun () -> List.for_all (fun m -> m.m_done) ms)));
+  pcb.in_batch <- false;
+  (* Watch the store targets until the next protocol entry. *)
+  pcb.watch_blocks <-
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (addr, _w, kind) ->
+           match kind with
+           | Alpha.Insn.Store_acc -> Some (block_of_addr t addr)
+           | Alpha.Insn.Load_acc -> None)
+         accesses);
+  pcb.batch_blocks <- []
+
+(** [ll_ensure pcb addr] — inline code before a load-locked: fetch the
+    line if needed and remember whether it was exclusive (deciding the
+    hardware vs protocol path for the following SC, Section 3.1.2). *)
+let rec ll_ensure pcb addr =
+  let t = pcb.eng in
+  apply_deferred pcb;
+  match Hashtbl.find_opt pcb.outstanding (block_of_addr t addr) with
+  | Some miss ->
+      (* One of our own misses (e.g. a non-blocking store upgrade) is in
+         flight on this block; wait for it before deciding the LL path. *)
+      ignore (stall_until pcb ~bucket:`Read (fun () -> miss.m_done));
+      ll_ensure pcb addr
+  | None ->
+  let private_s, shared = line_state pcb addr in
+  (match shared with
+  | Ptypes.Invalid | Ptypes.Pending ->
+      charge pcb t.cfg.Config.costs.Config.miss_entry;
+      ensure_read pcb addr
+  | Ptypes.Shared | Ptypes.Exclusive -> (
+      match private_s with
+      | Ptypes.Invalid | Ptypes.Pending ->
+          set_block_state_private ~why:"ll-fix" pcb t (block_of_addr t addr)
+            (if shared = Ptypes.Exclusive then Ptypes.Exclusive else Ptypes.Shared)
+      | Ptypes.Shared | Ptypes.Exclusive -> ()));
+  let private_s, _ = line_state pcb addr in
+  pcb.last_ll <-
+    (if private_s = Ptypes.Exclusive then Some (block_of_addr t addr) else None)
+
+(** [sc_check pcb addr w v] — inline code before a store-conditional. *)
+let rec sc_check pcb addr w v =
+  let t = pcb.eng in
+  apply_deferred pcb;
+  let b = block_of_addr t addr in
+  match Hashtbl.find_opt pcb.outstanding b with
+  | Some miss ->
+      ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
+      sc_check pcb addr w v
+  | None ->
+  let private_s, shared = line_state pcb addr in
+  dbg b "[%.9f] SC_CHECK pid%d private=%c shared=%c last_ll=%b"
+    (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid (Ptypes.state_to_char private_s)
+    (Ptypes.state_to_char shared) (pcb.last_ll = Some b);
+  match (private_s, shared) with
+  | Ptypes.Exclusive, _ when pcb.last_ll = Some b ->
+      (* Fast path: run the SC in hardware; the memory-image monitor
+         decides success. *)
+      Alpha.Runtime.Run_in_hardware
+  | _, Ptypes.Exclusive ->
+      set_block_state_private ~why:"sc-intra" pcb t b Ptypes.Exclusive;
+      Alpha.Runtime.Run_in_hardware
+  | _, Ptypes.Shared ->
+      pcb.stats.sc_misses <- pcb.stats.sc_misses + 1;
+      charge pcb t.cfg.Config.costs.Config.miss_entry;
+      let miss = issue pcb b Ptypes.Sc_upgrade MSc ~sc_store:(Some (addr, w, v)) () in
+      ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
+      Alpha.Runtime.Handled miss.m_sc_ok
+  | _, (Ptypes.Invalid | Ptypes.Pending) ->
+      (* The line was lost since the LL: the SC fails without any
+         protocol traffic. *)
+      pcb.stats.sc_misses <- pcb.stats.sc_misses + 1;
+      Alpha.Runtime.Handled false
+
+(** [prefetch_excl pcb addr] — non-binding exclusive prefetch inserted
+    before LL/SC loops (Section 3.1.2). *)
+let prefetch_excl pcb addr =
+  let t = pcb.eng in
+  let b = block_of_addr t addr in
+  if not (Hashtbl.mem pcb.outstanding b) then begin
+    let _, shared = line_state pcb addr in
+    match shared with
+    | Ptypes.Exclusive | Ptypes.Pending -> ()
+    | Ptypes.Shared -> ignore (issue pcb b Ptypes.Upgrade MPrefetch ())
+    | Ptypes.Invalid -> ignore (issue pcb b Ptypes.Read_ex MPrefetch ())
+  end
+
+(** [word_is_flag pcb addr] — used by the API-mode runtime to emulate the
+    inline value comparison. *)
+let word_is_flag pcb addr = Memimg.word_is_flag pcb.dom.img ~flag32:pcb.eng.cfg.Config.flag32 addr
+
+let stats pcb = pcb.stats
+let config t = t.cfg
+let net t = t.net

@@ -1,0 +1,147 @@
+(** A coherence domain's copy of the shared address space, with the
+    hardware LL/SC monitor.
+
+    In Base-Shasta each process has an image; in SMP-Shasta the processes
+    of a node share one, so plain loads and stores between them behave
+    like hardware shared memory.  The image also implements the lock-flag
+    semantics of the Alpha LL/SC pair (Section 3.1.1): a store by any
+    {e other} process to a monitored line clears that monitor, as does an
+    invalidation's flag write. *)
+
+type monitor = { mon_pid : int; mon_line : int }
+
+type t = {
+  base : int;
+  data : Bytes.t;
+  line_size : int;
+  mutable monitors : monitor list;
+}
+
+let create ~base ~size ~line_size = { base; data = Bytes.make size '\000'; line_size; monitors = [] }
+
+(* Word-level write tracing: set SHASTA_DEBUG_ADDR=<hex or dec address>. *)
+let debug_addr =
+  match Sys.getenv_opt "SHASTA_DEBUG_ADDR" with Some a -> int_of_string a | None -> -1
+
+let dbg_write t addr what v =
+  if debug_addr >= 0 && addr <= debug_addr && debug_addr < addr + 8 then
+    Format.eprintf "  [img %x] %s 0x%x <- %Ld@." (Hashtbl.hash t) what addr v
+
+let line_of t addr = (addr - t.base) / t.line_size
+
+let in_range t addr width =
+  let off = addr - t.base in
+  off >= 0 && off + width <= Bytes.length t.data
+
+let check t addr width =
+  if not (in_range t addr width) then
+    invalid_arg (Printf.sprintf "Memimg: access at 0x%x outside the image" addr)
+
+let read t addr (w : Alpha.Insn.width) =
+  check t addr (Alpha.Insn.bytes_of_width w);
+  let off = addr - t.base in
+  match w with
+  | Alpha.Insn.W32 -> Int64.of_int32 (Bytes.get_int32_le t.data off)
+  | Alpha.Insn.W64 -> Bytes.get_int64_le t.data off
+
+(* Clear other processes' monitors on the stored-to line. *)
+let break_monitors t ~line ~pid =
+  match t.monitors with
+  | [] -> ()
+  | ms -> t.monitors <- List.filter (fun m -> m.mon_line <> line || m.mon_pid = pid) ms
+
+let write ?(pid = -1) t addr (w : Alpha.Insn.width) v =
+  check t addr (Alpha.Insn.bytes_of_width w);
+  dbg_write t addr (Printf.sprintf "write(pid%d)" pid) v;
+  let off = addr - t.base in
+  break_monitors t ~line:(line_of t addr) ~pid;
+  match w with
+  | Alpha.Insn.W32 -> Bytes.set_int32_le t.data off (Int64.to_int32 v)
+  | Alpha.Insn.W64 -> Bytes.set_int64_le t.data off v
+
+(** [ll t ~pid addr w] performs a load-locked: reads and arms [pid]'s
+    monitor on the line. *)
+let ll t ~pid addr w =
+  let line = line_of t addr in
+  t.monitors <- { mon_pid = pid; mon_line = line } :: List.filter (fun m -> m.mon_pid <> pid) t.monitors;
+  read t addr w
+
+(** [monitor_armed t ~pid addr] — is [pid]'s LL monitor still armed on
+    [addr]'s line?  Consulted when a protocol-path store-conditional is
+    granted by the home: if an intervening data write or invalidation
+    broke the monitor, the SC fails spuriously (which the Alpha
+    architecture permits) rather than complete against stale data. *)
+let monitor_armed t ~pid addr =
+  let line = line_of t addr in
+  List.exists (fun m -> m.mon_pid = pid && m.mon_line = line) t.monitors
+
+(** [sc t ~pid addr w v] performs a store-conditional: succeeds iff
+    [pid]'s monitor on the line is still armed.  Always disarms. *)
+let sc t ~pid addr w v =
+  let line = line_of t addr in
+  let armed = List.exists (fun m -> m.mon_pid = pid && m.mon_line = line) t.monitors in
+  t.monitors <- List.filter (fun m -> m.mon_pid <> pid) t.monitors;
+  if armed then write ~pid t addr w v;
+  armed
+
+(** [write_flags t ~flag32 ~line] stores the invalid-flag value into
+    every 4-byte word of [line] (Section 2.2).  Breaks monitors. *)
+let write_flags t ~flag32 ~line =
+  (if debug_addr >= 0 then
+     let off = debug_addr - t.base in
+     if off >= line * t.line_size && off < (line + 1) * t.line_size then
+       dbg_write t debug_addr "write_flags" 0L);
+  let off = line * t.line_size in
+  for w = 0 to (t.line_size / 4) - 1 do
+    Bytes.set_int32_le t.data (off + (4 * w)) flag32
+  done;
+  break_monitors t ~line ~pid:(-1)
+
+(** [read_block t ~line ~lines] copies the [lines]-line block starting at
+    [line] out of the image. *)
+let read_block t ~line ~lines =
+  let len = lines * t.line_size in
+  Bytes.sub t.data (line * t.line_size) len
+
+(** [write_block t ~line data] copies block data into the image (a fetch
+    reply or a writeback).  Monitors are broken only on lines whose
+    content actually changes: a cache fill that brings back identical
+    data does not clear a hardware lock flag, and breaking monitors on
+    every fill livelocks contended LL/SC loops (every contender's fetch
+    would spuriously fail every sibling's SC). *)
+let write_block t ~line data =
+  (if debug_addr >= 0 then
+     let off = debug_addr - t.base in
+     if off >= line * t.line_size && off < (line * t.line_size) + Bytes.length data then
+       dbg_write t debug_addr "write_block" (Bytes.get_int64_le data (off - (line * t.line_size))));
+  let lines = Bytes.length data / t.line_size in
+  for l = 0 to lines - 1 do
+    let dst_off = (line + l) * t.line_size in
+    let changed =
+      not (Bytes.equal (Bytes.sub data (l * t.line_size) t.line_size)
+             (Bytes.sub t.data dst_off t.line_size))
+    in
+    Bytes.blit data (l * t.line_size) t.data dst_off t.line_size;
+    if changed then break_monitors t ~line:(line + l) ~pid:(-1)
+  done
+
+(** [word_is_flag t ~flag32 addr] tests whether the aligned 4-byte word
+    at [addr] currently holds the flag value. *)
+let word_is_flag t ~flag32 addr =
+  let off = addr - t.base in
+  Bytes.get_int32_le t.data (off land lnot 3) = flag32
+
+(** [blit_out t ~addr ~len buf off] — copy raw image bytes out (used by
+    the OS layer for syscall buffers after validation). *)
+let blit_out t ~addr ~len buf off =
+  check t addr len;
+  Bytes.blit t.data (addr - t.base) buf off len
+
+(** [blit_in t ~addr buf off len] — copy bytes into the image, breaking
+    LL monitors on every touched line. *)
+let blit_in t ~addr buf off len =
+  check t addr len;
+  Bytes.blit buf off t.data (addr - t.base) len;
+  for l = line_of t addr to line_of t (addr + len - 1) do
+    break_monitors t ~line:l ~pid:(-1)
+  done

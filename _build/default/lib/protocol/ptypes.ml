@@ -1,0 +1,94 @@
+(** Core protocol types: line states, request kinds, messages.
+
+    Shared data has three basic states at each coherence domain (process
+    in Base-Shasta, SMP node in SMP-Shasta): invalid, shared, exclusive
+    (Section 2.1); [Pending] marks lines with an outstanding miss. *)
+
+type state = Invalid | Shared | Exclusive | Pending
+
+let state_to_char = function Invalid -> 'I' | Shared -> 'S' | Exclusive -> 'E' | Pending -> 'P'
+
+(** Request kinds (Section 2.1 plus the store-conditional upgrade of
+    Section 3.1.2). *)
+type req_kind =
+  | Read
+  | Read_ex
+  | Upgrade  (** exclusive request when the requester already holds a shared copy *)
+  | Sc_upgrade  (** upgrade for a store-conditional: fails rather than fetching *)
+
+type domain_id = int
+type line_id = int
+type block_id = int
+
+(** Protocol messages.  Requests, acknowledgements and writebacks are
+    addressed to a {e domain} (any process of the domain may service
+    them); replies and intra-node downgrades are addressed to a specific
+    {e process}.
+
+    Home-originated messages that change a domain's state for a block carry
+    a per-[(block, destination domain)] sequence number [seq]; receivers
+    apply them strictly in order, parking early arrivals.  This closes the
+    race where a recall or invalidation is serviced by one process of a
+    node before a sibling has applied the grant that logically precedes
+    it. *)
+type msg =
+  | Request of { kind : req_kind; block : block_id; from_domain : domain_id; from_pid : int }
+  | Data_reply of {
+      block : block_id;
+      data : Bytes.t;
+      exclusive : bool;
+      to_pid : int;
+      seq : int;
+    }
+  | Ack_exclusive of { block : block_id; to_pid : int; seq : int }
+      (** upgrade granted: no data needed, all invalidations done *)
+  | Sc_result of { block : block_id; ok : bool; to_pid : int; seq : int }
+  | Invalidate of { block : block_id; home_domain : domain_id; seq : int }
+      (** home tells a sharer to drop its copy and ack back to the home *)
+  | Recall of { block : block_id; to_shared : bool; home_domain : domain_id; seq : int }
+      (** home tells the exclusive owner to downgrade (or drop) and write
+          the dirty data back *)
+  | Writeback of { block : block_id; data : Bytes.t; from_domain : domain_id }
+  | Inval_ack of { block : block_id; from_domain : domain_id }
+  | Downgrade of { block : block_id; to_state : state; to_pid : int; from_domain : domain_id }
+      (** SMP-Shasta intra-node private-state-table downgrade (Section 2.3) *)
+  | Downgrade_ack of { block : block_id; from_pid : int }
+
+let msg_size = function
+  | Request _ -> 32
+  | Data_reply { data; _ } -> 32 + Bytes.length data
+  | Ack_exclusive _ -> 32
+  | Sc_result _ -> 32
+  | Invalidate _ -> 32
+  | Recall _ -> 32
+  | Writeback { data; _ } -> 32 + Bytes.length data
+  | Inval_ack _ -> 32
+  | Downgrade _ -> 32
+  | Downgrade_ack _ -> 32
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with Read -> "read" | Read_ex -> "read_ex" | Upgrade -> "upgrade" | Sc_upgrade -> "sc_upgrade")
+
+let pp_msg ppf = function
+  | Request { kind; block; from_domain; from_pid } ->
+      Format.fprintf ppf "Request(%a, blk=%d, dom=%d, pid=%d)" pp_kind kind block from_domain
+        from_pid
+  | Data_reply { block; exclusive; to_pid; seq; _ } ->
+      Format.fprintf ppf "Data(blk=%d, excl=%b, pid=%d, seq=%d)" block exclusive to_pid seq
+  | Ack_exclusive { block; to_pid; seq } ->
+      Format.fprintf ppf "AckEx(blk=%d, pid=%d, seq=%d)" block to_pid seq
+  | Sc_result { block; ok; to_pid; seq } ->
+      Format.fprintf ppf "ScResult(blk=%d, ok=%b, pid=%d, seq=%d)" block ok to_pid seq
+  | Invalidate { block; home_domain; seq } ->
+      Format.fprintf ppf "Inval(blk=%d, home=%d, seq=%d)" block home_domain seq
+  | Recall { block; to_shared; home_domain; seq } ->
+      Format.fprintf ppf "Recall(blk=%d, to_shared=%b, home=%d, seq=%d)" block to_shared home_domain seq
+  | Writeback { block; from_domain; _ } ->
+      Format.fprintf ppf "Writeback(blk=%d, dom=%d)" block from_domain
+  | Inval_ack { block; from_domain } ->
+      Format.fprintf ppf "InvalAck(blk=%d, dom=%d)" block from_domain
+  | Downgrade { block; to_state; to_pid; _ } ->
+      Format.fprintf ppf "Downgrade(blk=%d, to=%c, pid=%d)" block (state_to_char to_state) to_pid
+  | Downgrade_ack { block; from_pid } ->
+      Format.fprintf ppf "DowngradeAck(blk=%d, pid=%d)" block from_pid

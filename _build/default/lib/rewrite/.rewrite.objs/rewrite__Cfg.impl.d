@@ -1,0 +1,1 @@
+lib/rewrite/cfg.ml: Alpha Array List

@@ -1,0 +1,1 @@
+lib/rewrite/dataflow.ml: Alpha Array Cfg Int64 List Queue

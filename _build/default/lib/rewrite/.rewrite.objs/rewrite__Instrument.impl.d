@@ -1,0 +1,1 @@
+lib/rewrite/instrument.ml: Alpha Array Cfg Dataflow Hashtbl List Option

@@ -1,0 +1,133 @@
+(** Pointer-class dataflow analysis.
+
+    ATOM-style analysis deciding, for each load/store, whether its base
+    register provably points into private memory (stack or static data) —
+    in which case no miss check is inserted (Section 2.2: "Since the
+    static and stack data areas are not shared, Shasta does not insert
+    checks for any loads or stores that are clearly to these areas").
+
+    Lattice per register:
+    {v  Private  <  Shared  <  Top  v}
+    with a pointer-arithmetic-aware join: adding a private integer offset
+    to a shared pointer stays shared; any uncertainty goes to [Top], which
+    (like [Shared]) receives checks. *)
+
+type cls = Private | Shared | Top
+
+let join a b =
+  match (a, b) with
+  | Private, Private -> Private
+  | Shared, Shared -> Shared
+  | Private, Shared | Shared, Private -> Top
+  | Top, _ | _, Top -> Top
+
+(* Address arithmetic: base + offset.  A shared base plus a private
+   (plain integer) offset is still a shared address. *)
+let add_cls a b =
+  match (a, b) with
+  | Private, Private -> Private
+  | Shared, Private | Private, Shared -> Shared
+  | Shared, Shared -> Top (* adding two pointers is not address arithmetic *)
+  | Top, _ | _, Top -> Top
+
+type state = cls array (* one class per integer register *)
+
+let sp = 30
+let gp = 29
+let zero = 31
+
+let entry_state () =
+  let s = Array.make 32 Top in
+  s.(sp) <- Private;
+  s.(gp) <- Private;
+  s.(zero) <- Private;
+  s
+
+let copy = Array.copy
+
+let join_state (a : state) (b : state) =
+  let changed = ref false in
+  for i = 0 to 31 do
+    let j = join a.(i) b.(i) in
+    if j <> a.(i) then begin
+      a.(i) <- j;
+      changed := true
+    end
+  done;
+  !changed
+
+(** Transfer function for one instruction, given [shared_base]: an [Li]
+    of an absolute address classifies by which region it falls in. *)
+let transfer ~shared_base (s : state) (insn : Alpha.Insn.t) =
+  let set r c = if r <> zero then s.(r) <- c in
+  match insn with
+  | Alpha.Insn.Li (r, v) ->
+      set r (if Int64.compare v (Int64.of_int shared_base) >= 0 then Shared else Private)
+  | Alpha.Insn.Binop (op, a, b, d) -> (
+      let cb = match b with Alpha.Insn.Reg r -> s.(r) | Alpha.Insn.Imm _ -> Private in
+      match op with
+      | Alpha.Insn.Add | Alpha.Insn.Sub -> set d (add_cls s.(a) cb)
+      | Alpha.Insn.Mul | Alpha.Insn.And | Alpha.Insn.Or | Alpha.Insn.Xor | Alpha.Insn.Sll
+      | Alpha.Insn.Srl | Alpha.Insn.Sra ->
+          set d (match (s.(a), cb) with Private, Private -> Private | _ -> Top)
+      | Alpha.Insn.Cmpeq | Alpha.Insn.Cmplt | Alpha.Insn.Cmple | Alpha.Insn.Cmpult ->
+          set d Private (* booleans are plain integers *))
+  | Alpha.Insn.Ld (_, d, _, _) -> set d Top (* pointer loaded from memory: unknown *)
+  | Alpha.Insn.Ll (_, d, _, _) -> set d Top
+  | Alpha.Insn.Sc (_, r, _, _) -> set r Private (* success flag *)
+  | Alpha.Insn.Cvt_fi (_, r) -> set r Private
+  | Alpha.Insn.Fcmp (_, _, _, r) -> set r Private
+  | Alpha.Insn.Call _ ->
+      (* Callee may clobber everything except sp/gp by convention. *)
+      for i = 0 to 31 do
+        if i <> sp && i <> gp && i <> zero then s.(i) <- Top
+      done
+  | Alpha.Insn.Lif _ | Alpha.Insn.Ldf _ | Alpha.Insn.Stf _ | Alpha.Insn.Fbinop _
+  | Alpha.Insn.Cvt_if _ | Alpha.Insn.Fmov _ | Alpha.Insn.St _ | Alpha.Insn.Mb
+  | Alpha.Insn.Br _ | Alpha.Insn.Bcond _ | Alpha.Insn.Ret | Alpha.Insn.Halt
+  | Alpha.Insn.Load_check _ | Alpha.Insn.Store_check _ | Alpha.Insn.Batch_check _
+  | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ | Alpha.Insn.Mb_check | Alpha.Insn.Poll
+  | Alpha.Insn.Prefetch_excl _ | Alpha.Insn.Label _ ->
+      ()
+
+(** [analyze ~shared_base cfg] computes, for every instruction index, the
+    register-class state {e before} that instruction. *)
+let analyze ~shared_base (cfg : Cfg.t) =
+  let code = cfg.Cfg.proc.Alpha.Program.code in
+  let n = Array.length code in
+  let nb = Cfg.n_blocks cfg in
+  let block_in = Array.init nb (fun i -> if i = 0 then entry_state () else Array.make 32 Private) in
+  (* Unvisited blocks start at bottom (all Private) so the first join
+     copies the incoming state; track visited to seed correctly. *)
+  let visited = Array.make nb false in
+  visited.(0) <- true;
+  let worklist = Queue.create () in
+  Queue.push 0 worklist;
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    let blk = Cfg.block cfg b in
+    let s = copy block_in.(b) in
+    for i = blk.Cfg.first to blk.Cfg.last do
+      transfer ~shared_base s code.(i)
+    done;
+    List.iter
+      (fun succ ->
+        if not visited.(succ) then begin
+          visited.(succ) <- true;
+          Array.blit s 0 block_in.(succ) 0 32;
+          Queue.push succ worklist
+        end
+        else if join_state block_in.(succ) s then Queue.push succ worklist)
+      blk.Cfg.succs
+  done;
+  (* Expand to per-instruction "before" states. *)
+  let before = Array.make n (entry_state ()) in
+  for b = 0 to nb - 1 do
+    let blk = Cfg.block cfg b in
+    let s = copy block_in.(b) in
+    for i = blk.Cfg.first to blk.Cfg.last do
+      before.(i) <- copy s;
+      transfer ~shared_base s code.(i)
+    done
+  done;
+  before

@@ -1,0 +1,1 @@
+lib/shasta/breakdown.ml: Format Sim

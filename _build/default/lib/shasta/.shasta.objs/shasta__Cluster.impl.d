@@ -1,0 +1,1 @@
+lib/shasta/cluster.ml: Breakdown Config List Mchan Option Protocol Runtime Sim Sync

@@ -1,0 +1,1 @@
+lib/shasta/config.ml: Alpha Int64 Mchan Protocol Sim

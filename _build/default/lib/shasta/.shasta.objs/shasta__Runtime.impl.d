@@ -1,0 +1,1 @@
+lib/shasta/runtime.ml: Alpha Breakdown Bytes Config Float Int64 List Mchan Protocol Sim Sync

@@ -1,0 +1,1 @@
+lib/shasta/sync.ml: Array Hashtbl List Mchan Option Protocol Queue Sim

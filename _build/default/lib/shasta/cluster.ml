@@ -1,0 +1,124 @@
+(** Cluster setup and run control.
+
+    [create] builds the network, the protocol engine and the sync layer;
+    [spawn] starts Shasta processes on chosen processors; [init]
+    finalises memory layout; [run] drives the simulation to completion.
+
+    Spawned processes keep serving protocol requests after their
+    application code finishes, until every spawned process is done —
+    exactly the behaviour of Section 4.3.3, where a terminated Shasta
+    process "remains alive and continues to serve requests for its
+    protocol and application data". *)
+
+type t = {
+  cfg : Config.t;
+  net : Mchan.Net.t;
+  peng : Protocol.Engine.t;
+  sync : Sync.t;
+  mutable procs : (Sim.Proc.t * Runtime.t) list;
+  mutable n_app : int;
+  done_count : int ref;
+  mutable alloc_next : int;
+  mutable initialized : bool;
+  mutable started_at : float;
+}
+
+let create cfg =
+  let net = Mchan.Net.create cfg.Config.net in
+  let peng = Protocol.Engine.create ~cfg:cfg.Config.protocol ~net in
+  let sync = Sync.create ~net ~costs:cfg.Config.protocol.Protocol.Config.costs in
+  {
+    cfg;
+    net;
+    peng;
+    sync;
+    procs = [];
+    n_app = 0;
+    done_count = ref 0;
+    alloc_next = cfg.Config.protocol.Protocol.Config.shared_base;
+    initialized = false;
+    started_at = 0.0;
+  }
+
+let sim t = Mchan.Net.engine t.net
+let now t = Sim.Engine.now (sim t)
+let protocol_engine t = t.peng
+
+(** [alloc t ?align bytes] — bump allocator over the shared region (the
+    equivalent of the application's shared heap). *)
+let alloc ?(align = 64) t bytes =
+  let a = (t.alloc_next + align - 1) / align * align in
+  let limit =
+    t.cfg.Config.protocol.Protocol.Config.shared_base
+    + t.cfg.Config.protocol.Protocol.Config.shared_size
+  in
+  if a + bytes > limit then failwith "Cluster.alloc: shared region exhausted";
+  t.alloc_next <- a + bytes;
+  a
+
+let pulse_all t =
+  for n = 0 to t.cfg.Config.net.Mchan.Net.nodes - 1 do
+    Sim.Signal.pulse (Mchan.Net.node_signal t.net n)
+  done
+
+(** [spawn t ~cpu name body] — start a Shasta process on global processor
+    [cpu].  [serve] (default true) keeps the process alive serving
+    protocol traffic after [body] returns, until all spawned processes
+    are done. *)
+let spawn ?(serve = true) ?(priority = 0) t ~cpu name body =
+  let cpu_t = Mchan.Net.nth_cpu t.net cpu in
+  let handle = ref None in
+  if serve then t.n_app <- t.n_app + 1;
+  let proc =
+    Sim.Proc.spawn ~priority ~name cpu_t (fun () ->
+        let h = Option.get !handle in
+        body h;
+        Runtime.flush h;
+        (* Outstanding non-blocking stores must be globally performed
+           before this process counts as done, or the cluster could
+           quiesce with a miss still in flight. *)
+        Runtime.mb h;
+        if serve then begin
+          incr t.done_count;
+          pulse_all t;
+          (* The post-exit serve loop is idle work: cede the CPU to any
+             still-running application process. *)
+          (Sim.Proc.self ()).Sim.Proc.yield_waiting <- true;
+          Sim.Proc.stall (fun () -> !(t.done_count) >= t.n_app)
+        end)
+  in
+  let h = Runtime.create ~cfg:t.cfg ~peng:t.peng ~sync:t.sync proc in
+  handle := Some h;
+  t.procs <- (proc, h) :: t.procs;
+  h
+
+let init ?homes t =
+  if not t.initialized then begin
+    t.initialized <- true;
+    Protocol.Engine.init ?homes t.peng;
+    t.started_at <- now t
+  end
+
+exception Worker_failed of string * exn
+
+(** [run t] — run the simulation until quiescence (or [until]); re-raises
+    the first worker failure.  Returns elapsed virtual time since
+    [init]. *)
+let run ?(until = 3600.0) t =
+  init t;
+  ignore (Sim.Engine.run ~until (sim t));
+  List.iter
+    (fun ((p : Sim.Proc.t), _) ->
+      match p.Sim.Proc.failure with
+      | Some e -> raise (Worker_failed (p.Sim.Proc.name, e))
+      | None -> ())
+    t.procs;
+  now t -. t.started_at
+
+let runtimes t = List.rev_map snd t.procs
+
+(** [total_breakdown t] — sum of all per-process breakdowns. *)
+let total_breakdown t =
+  List.fold_left
+    (fun acc h -> Breakdown.add acc (Runtime.breakdown h))
+    (Breakdown.empty ()) (runtimes t)

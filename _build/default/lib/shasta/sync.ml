@@ -1,0 +1,208 @@
+(** Message-passing synchronisation (the "MP" locks and barriers of
+    Section 6.2).
+
+    These are the high-level primitives Shasta offers alongside the
+    transparent LL/SC path: locks are queue-based — the manager hands the
+    lock directly to the next waiter on release, which is why MP locks
+    beat the shared-memory LL/SC locks under contention (Table 1) — and
+    barriers are centralised with a broadcast release.
+
+    Lock and barrier managers are distributed over the registered
+    processes round-robin by id.  Messages travel over the same Memory
+    Channel model as the coherence protocol and are serviced from a
+    per-node mailbox by whichever local process polls first. *)
+
+type msg =
+  | Acquire of { lock : int; from : int }
+  | Release of { lock : int }
+  | Grant of { lock : int; to_pid : int }
+  | Arrive of { barrier : int; from : int; parties : int }
+  | Proceed of { barrier : int; to_pid : int; gen : int }
+
+type lock_state = { mutable taken : bool; waiters : int Queue.t }
+
+type barrier_state = { mutable gen : int; mutable arrived : int list }
+
+type endpoint = {
+  ep_pid : int;
+  ep_node : int;
+  granted : (int, unit) Hashtbl.t;
+  reached_gen : (int, int) Hashtbl.t;  (** barrier -> last generation passed *)
+  mutable next_gen : (int, int) Hashtbl.t;
+  mutable sync_stall : float;  (** accumulated synchronisation stall time *)
+}
+
+type t = {
+  net : Mchan.Net.t;
+  costs : Protocol.Config.costs;
+  node_box : msg Mchan.Mailbox.t array;
+  mutable order : int list;  (** registration order (most recent first) *)
+  eps : (int, endpoint) Hashtbl.t;
+  locks : (int, lock_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+  mutable messages : int;
+}
+
+let create ~net ~costs =
+  let nodes = (Mchan.Net.config net).Mchan.Net.nodes in
+  {
+    net;
+    costs;
+    node_box = Array.init nodes (fun _ -> Mchan.Mailbox.create ~owner:(-1));
+    order = [];
+    eps = Hashtbl.create 32;
+    locks = Hashtbl.create 64;
+    barriers = Hashtbl.create 16;
+    messages = 0;
+  }
+
+let register t ~pid ~node =
+  let ep =
+    {
+      ep_pid = pid;
+      ep_node = node;
+      granted = Hashtbl.create 8;
+      reached_gen = Hashtbl.create 8;
+      next_gen = Hashtbl.create 8;
+      sync_stall = 0.0;
+    }
+  in
+  Hashtbl.replace t.eps pid ep;
+  t.order <- pid :: t.order;
+  ep
+
+let endpoint t pid = Hashtbl.find t.eps pid
+
+(** Managers are assigned round-robin over registration order. *)
+let manager_of t id =
+  let pids = Array.of_list (List.rev t.order) in
+  pids.(id mod Array.length pids)
+
+let lock_state t l =
+  match Hashtbl.find_opt t.locks l with
+  | Some s -> s
+  | None ->
+      let s = { taken = false; waiters = Queue.create () } in
+      Hashtbl.replace t.locks l s;
+      s
+
+let barrier_state t b =
+  match Hashtbl.find_opt t.barriers b with
+  | Some s -> s
+  | None ->
+      let s = { gen = 0; arrived = [] } in
+      Hashtbl.replace t.barriers b s;
+      s
+
+let send t ~cur ~from_node msg ~to_node =
+  t.messages <- t.messages + 1;
+  Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:to_node ~size:32 (fun () ->
+      Mchan.Mailbox.push t.node_box.(to_node) msg)
+
+(* Message handlers run in poll (scheduler) context with a time cursor. *)
+let handle t ~cur ~node msg =
+  let c = t.costs.Protocol.Config.lock_acquire_queue in
+  cur := !cur +. c;
+  match msg with
+  | Acquire { lock; from } ->
+      let s = lock_state t lock in
+      if s.taken then Queue.push from s.waiters
+      else begin
+        s.taken <- true;
+        let ep = endpoint t from in
+        send t ~cur ~from_node:node (Grant { lock; to_pid = from }) ~to_node:ep.ep_node
+      end
+  | Release { lock } ->
+      let s = lock_state t lock in
+      (match Queue.take_opt s.waiters with
+      | Some next ->
+          (* Queue-based handoff: the lock passes directly to the next
+             waiter without going free. *)
+          let ep = endpoint t next in
+          send t ~cur ~from_node:node (Grant { lock; to_pid = next }) ~to_node:ep.ep_node
+      | None -> s.taken <- false)
+  | Grant { lock; to_pid } -> Hashtbl.replace (endpoint t to_pid).granted lock ()
+  | Arrive { barrier; from; parties } ->
+      let s = barrier_state t barrier in
+      s.arrived <- from :: s.arrived;
+      if List.length s.arrived >= parties then begin
+        s.gen <- s.gen + 1;
+        let gen = s.gen in
+        List.iter
+          (fun pid ->
+            let ep = endpoint t pid in
+            send t ~cur ~from_node:node (Proceed { barrier; to_pid = pid; gen }) ~to_node:ep.ep_node)
+          s.arrived;
+        s.arrived <- []
+      end
+  | Proceed { barrier; to_pid; gen } ->
+      Hashtbl.replace (endpoint t to_pid).reached_gen barrier gen
+
+(** [service t ~node] drains the node's sync mailbox; returns CPU seconds
+    consumed.  Called from the poll hook. *)
+let service t ~node =
+  let start = Sim.Engine.now (Mchan.Net.engine t.net) in
+  let cur = ref start in
+  let rec drain () =
+    match Mchan.Mailbox.pop t.node_box.(node) with
+    | None -> ()
+    | Some msg ->
+        handle t ~cur ~node msg;
+        drain ()
+  in
+  drain ();
+  !cur -. start
+
+let stall_sync ep net pred =
+  let eng = Mchan.Net.engine net in
+  let t0 = Sim.Engine.now eng in
+  Sim.Proc.stall pred;
+  ep.sync_stall <- ep.sync_stall +. (Sim.Engine.now eng -. t0)
+
+(* Fiber-side operations. *)
+
+(** [acquire t ep lock] — acquire a queue-based MP lock.  The fast path
+    (this process manages the lock and it is free) costs about one
+    microsecond and no messages. *)
+let acquire t ep lock =
+  let mgr = manager_of t lock in
+  if mgr = ep.ep_pid && not (lock_state t lock).taken then begin
+    (lock_state t lock).taken <- true;
+    Sim.Proc.work t.costs.Protocol.Config.lock_acquire_queue
+  end
+  else begin
+    let cur = ref (Sim.Engine.now (Mchan.Net.engine t.net)) in
+    send t ~cur ~from_node:ep.ep_node
+      (Acquire { lock; from = ep.ep_pid })
+      ~to_node:(endpoint t mgr).ep_node;
+    Sim.Proc.work t.costs.Protocol.Config.send;
+    stall_sync ep t.net (fun () -> Hashtbl.mem ep.granted lock);
+    Hashtbl.remove ep.granted lock
+  end
+
+let release t ep lock =
+  let mgr = manager_of t lock in
+  if mgr = ep.ep_pid && Queue.is_empty (lock_state t lock).waiters then begin
+    (lock_state t lock).taken <- false;
+    Sim.Proc.work (t.costs.Protocol.Config.lock_acquire_queue /. 2.0)
+  end
+  else begin
+    let cur = ref (Sim.Engine.now (Mchan.Net.engine t.net)) in
+    send t ~cur ~from_node:ep.ep_node (Release { lock }) ~to_node:(endpoint t mgr).ep_node;
+    Sim.Proc.work t.costs.Protocol.Config.send
+  end
+
+(** [barrier t ep ~id ~parties] — centralised sense-reversing barrier. *)
+let barrier t ep ~id ~parties =
+  let gen = Option.value (Hashtbl.find_opt ep.next_gen id) ~default:1 in
+  Hashtbl.replace ep.next_gen id (gen + 1);
+  let mgr = manager_of t id in
+  let cur = ref (Sim.Engine.now (Mchan.Net.engine t.net)) in
+  send t ~cur ~from_node:ep.ep_node
+    (Arrive { barrier = id; from = ep.ep_pid; parties })
+    ~to_node:(endpoint t mgr).ep_node;
+  Sim.Proc.work t.costs.Protocol.Config.send;
+  stall_sync ep t.net (fun () ->
+      Option.value (Hashtbl.find_opt ep.reached_gen id) ~default:0 >= gen)
+
+let messages t = t.messages

@@ -1,0 +1,1 @@
+lib/sim/proc.ml: Array Effect Engine Float Format List Queue Signal Sys

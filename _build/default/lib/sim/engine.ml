@@ -1,0 +1,73 @@
+(** Discrete-event simulation core: a virtual clock and an event heap.
+
+    Events are thunks fired in [(time, insertion-order)] order, so the
+    whole simulation is deterministic.  Everything above this module
+    (CPUs, processes, the network, the coherence protocol) is expressed
+    as events. *)
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  events : (unit -> unit) Heap.t;
+  mutable fired : int;
+}
+
+let create () = { now = 0.0; seq = 0; events = Heap.create (); fired = 0 }
+
+let now t = t.now
+
+let events_fired t = t.fired
+
+let pending t = Heap.length t.events
+
+(** [at t time f] schedules [f] to fire at absolute [time].
+    Requires [time >= now t]. *)
+let at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %.9g is in the past (now %.9g)" time t.now);
+  Heap.push t.events ~time ~seq:t.seq f;
+  t.seq <- t.seq + 1
+
+(** [after t dt f] schedules [f] to fire [dt] seconds from now. *)
+let after t dt f = at t (t.now +. dt) f
+
+(** [step t] fires the earliest pending event.  Returns [false] when the
+    event heap is empty. *)
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some e ->
+      t.now <- e.Heap.time;
+      t.fired <- t.fired + 1;
+      e.Heap.value ();
+      true
+
+(** [run ?until ?max_events t] fires events until the heap is empty, the
+    clock passes [until], or [max_events] have fired.  Returns the reason
+    the run stopped. *)
+type stop_reason = Quiescent | Deadline | Event_budget
+
+let run ?until ?max_events t =
+  let deadline_hit () =
+    match until with
+    | None -> false
+    | Some d -> (
+        match Heap.peek t.events with
+        | None -> false
+        | Some e -> e.Heap.time > d)
+  in
+  let budget_hit fired0 =
+    match max_events with None -> false | Some m -> t.fired - fired0 >= m
+  in
+  let fired0 = t.fired in
+  let rec loop () =
+    if deadline_hit () then begin
+      (match until with Some d -> t.now <- max t.now d | None -> ());
+      Deadline
+    end
+    else if budget_hit fired0 then Event_budget
+    else if step t then loop ()
+    else Quiescent
+  in
+  loop ()

@@ -1,0 +1,77 @@
+(** Array-based binary min-heap keyed by [(time, sequence)] pairs.
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in FIFO order, which keeps the simulation deterministic. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  (* The dummy cell is only used to extend the array; it is overwritten
+     before it can ever be observed because [size] bounds all reads. *)
+  let dummy = h.data.(0) in
+  let data' = Array.make cap' dummy in
+  Array.blit h.data 0 data' 0 h.size;
+  h.data <- data'
+
+let push h ~time ~seq value =
+  let e = { time; seq; value } in
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 16 e else grow h;
+  let data = h.data in
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  data.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt data.(!i) data.(parent) then begin
+      let tmp = data.(parent) in
+      data.(parent) <- data.(!i);
+      data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let data = h.data in
+    let top = data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      data.(0) <- data.(h.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt data.(l) data.(!smallest) then smallest := l;
+        if r < h.size && lt data.(r) data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = data.(!smallest) in
+          data.(!smallest) <- data.(!i);
+          data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end

@@ -1,0 +1,16 @@
+(** Array-based binary min-heap keyed by [(time, sequence)]; ties break
+    in FIFO order so simulations are deterministic. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h ~time ~seq v] inserts [v]; [seq] orders same-time entries. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val peek : 'a t -> 'a entry option
+val pop : 'a t -> 'a entry option

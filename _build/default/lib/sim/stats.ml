@@ -1,0 +1,96 @@
+(** Online statistics: counters, mean/variance accumulators, histograms.
+
+    Used by the protocol and the benchmark harness to report message
+    counts, miss latencies and time breakdowns. *)
+
+type counter = { mutable count : int }
+
+let counter () = { count = 0 }
+let incr_counter c = c.count <- c.count + 1
+let add_counter c n = c.count <- c.count + n
+let counter_value c = c.count
+
+(** Welford's online mean/variance, plus min/max. *)
+type summary = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let summary () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let observe s x =
+  s.n <- s.n + 1;
+  let delta = x -. s.mean in
+  s.mean <- s.mean +. (delta /. float_of_int s.n);
+  s.m2 <- s.m2 +. (delta *. (x -. s.mean));
+  if x < s.min then s.min <- x;
+  if x > s.max then s.max <- x
+
+let count s = s.n
+let mean s = if s.n = 0 then 0.0 else s.mean
+let variance s = if s.n < 2 then 0.0 else s.m2 /. float_of_int (s.n - 1)
+let stddev s = sqrt (variance s)
+let minimum s = s.min
+let maximum s = s.max
+let total s = s.mean *. float_of_int s.n
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%g sd=%g min=%g max=%g" s.n (mean s) (stddev s)
+    s.min s.max
+
+(** Fixed-bucket histogram over [\[lo, hi)] with [buckets] equal bins plus
+    underflow/overflow bins. *)
+type histogram = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable observations : int;
+}
+
+let histogram ~lo ~hi ~buckets =
+  if buckets <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  { lo; hi; bins = Array.make buckets 0; under = 0; over = 0; observations = 0 }
+
+let record h x =
+  h.observations <- h.observations + 1;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let width = (h.hi -. h.lo) /. float_of_int (Array.length h.bins) in
+    let i = int_of_float ((x -. h.lo) /. width) in
+    let i = if i >= Array.length h.bins then Array.length h.bins - 1 else i in
+    h.bins.(i) <- h.bins.(i) + 1
+  end
+
+let observations h = h.observations
+
+(** [percentile h p] approximates the [p]-th percentile (0-100) from the
+    bucket midpoints.  Under/overflow observations clamp to the bounds. *)
+let percentile h p =
+  if h.observations = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (float_of_int h.observations *. p /. 100.0)) in
+    let target = if target < 1 then 1 else target in
+    let width = (h.hi -. h.lo) /. float_of_int (Array.length h.bins) in
+    let acc = ref h.under in
+    if !acc >= target then h.lo
+    else begin
+      let result = ref h.hi in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= target then begin
+               result := h.lo +. ((float_of_int i +. 0.5) *. width);
+               raise Exit
+             end)
+           h.bins
+       with Exit -> ());
+      !result
+    end
+  end

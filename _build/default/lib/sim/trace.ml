@@ -1,0 +1,20 @@
+(** Lightweight debug tracing for the simulator, built on [Logs].
+
+    Tracing is off by default; tests and the CLI enable it with
+    [Trace.enable ()].  Trace lines carry the virtual timestamp so that
+    protocol races can be replayed from the output. *)
+
+let src = Logs.Src.create "shasta.sim" ~doc:"Shasta simulator tracing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let enable ?(level = Logs.Debug) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.Src.set_level src (Some level)
+
+let disable () = Logs.Src.set_level src None
+
+(** [f engine fmt ...] logs a debug line prefixed with the virtual time. *)
+let f engine fmt =
+  Log.debug (fun m ->
+      m ("[%a] " ^^ fmt) Units.pp_time (Engine.now engine))

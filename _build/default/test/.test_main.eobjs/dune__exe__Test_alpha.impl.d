@@ -1,0 +1,1 @@
+test/test_alpha.ml: Alcotest Alpha Array Asm Int64 Interp Program QCheck QCheck_alcotest Runtime String

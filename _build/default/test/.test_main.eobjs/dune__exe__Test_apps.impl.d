@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Barnes Fmm Harness Lu Mchan Ocean Printf Protocol Raytrace Shasta Volrend Water

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Alpha Apps Int64 List Mchan Printf Protocol QCheck QCheck_alcotest Rewrite Shasta Sim

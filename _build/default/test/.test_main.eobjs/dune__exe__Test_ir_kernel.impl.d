@@ -1,0 +1,1 @@
+test/test_ir_kernel.ml: Alcotest Alpha Apps Array Int64 Mchan Printf Protocol Rewrite Shasta Sim

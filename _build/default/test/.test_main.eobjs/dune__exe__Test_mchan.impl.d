@@ -1,0 +1,1 @@
+test/test_mchan.ml: Alcotest Engine Gen List Mchan Proc QCheck QCheck_alcotest Signal Sim

@@ -1,0 +1,1 @@
+test/test_minidb.ml: Alcotest List Minidb Printf

@@ -1,0 +1,1 @@
+test/test_osim.ml: Alcotest Bytes Int64 List Mchan Osim Printexc Printf Protocol Shasta Sim

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Alpha Int64 List Mchan Option Printexc Printf Protocol Sim

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Alpha Array Asm Insn Int64 Interp List Program QCheck QCheck_alcotest Rewrite Runtime

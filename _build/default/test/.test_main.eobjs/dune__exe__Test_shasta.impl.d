@@ -1,0 +1,1 @@
+test/test_shasta.ml: Alcotest Alpha Fun Int64 List Mchan Printf Protocol Rewrite Shasta Sim

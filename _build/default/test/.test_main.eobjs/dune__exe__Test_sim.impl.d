@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Gen Heap List Proc QCheck QCheck_alcotest Rng Signal Sim Stats

@@ -1,0 +1,81 @@
+(* Tests for the mini database engine (the Oracle stand-in). *)
+
+module W = Minidb.Workload
+
+let small_dss ~servers ~placement ?(checks = true) ?(direct_downgrade = true) () =
+  let cfg = W.cluster_config ~checks ~direct_downgrade () in
+  W.run_dss ~pages:48 ~rows_per_page:16 ~cfg ~placement:(placement ~servers) ~query:W.Dss1 ()
+
+let test_dss1_single_server () =
+  let o = small_dss ~servers:1 ~placement:W.placement_extra_proc () in
+  Alcotest.(check bool) "aggregate validated" true o.W.ok;
+  Alcotest.(check bool) "elapsed positive" true (o.W.elapsed > 0.0);
+  Alcotest.(check bool) "daemon was exercised" true (o.W.daemon_wakeups > 0)
+
+let test_dss1_parallel_servers () =
+  let o1 = small_dss ~servers:1 ~placement:W.placement_extra_proc () in
+  let o3 = small_dss ~servers:3 ~placement:W.placement_extra_proc () in
+  Alcotest.(check bool) "3-server result validated" true o3.W.ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "3 servers faster than 1 (%.2fms vs %.2fms)"
+       (1000.0 *. o3.W.elapsed) (1000.0 *. o1.W.elapsed))
+    true
+    (o3.W.elapsed < o1.W.elapsed);
+  Alcotest.(check int) "one breakdown per server" 3 (List.length o3.W.server_breakdowns)
+
+let test_dss2_longer_than_dss1 () =
+  let cfg = W.cluster_config () in
+  let p = W.placement_extra_proc ~servers:1 in
+  let d1 = W.run_dss ~pages:32 ~rows_per_page:16 ~cfg ~placement:p ~query:W.Dss1 () in
+  let cfg2 = W.cluster_config () in
+  ignore cfg2;
+  let d2 = W.run_dss ~pages:32 ~rows_per_page:16 ~cfg:(W.cluster_config ()) ~placement:p ~query:W.Dss2 () in
+  Alcotest.(check bool) "both validated" true (d1.W.ok && d2.W.ok);
+  Alcotest.(check bool)
+    (Printf.sprintf "DSS-2 much longer (%.2fms vs %.2fms)" (1000.0 *. d2.W.elapsed)
+       (1000.0 *. d1.W.elapsed))
+    true
+    (d2.W.elapsed > 3.0 *. d1.W.elapsed)
+
+let test_extra_proc_beats_equal () =
+  (* Table 4 / Figure 5: with 2 servers, the extra-processor placement
+     beats one-processor-per-server (daemons contend with server 1). *)
+  let ex = small_dss ~servers:2 ~placement:W.placement_extra_proc () in
+  let eq = small_dss ~servers:2 ~placement:W.placement_equal () in
+  Alcotest.(check bool) "both validated" true (ex.W.ok && eq.W.ok);
+  Alcotest.(check bool)
+    (Printf.sprintf "EX (%.2fms) faster than EQ (%.2fms)" (1000.0 *. ex.W.elapsed)
+       (1000.0 *. eq.W.elapsed))
+    true
+    (ex.W.elapsed < eq.W.elapsed)
+
+let test_oltp_validates () =
+  let cfg = W.cluster_config ~nodes:1 () in
+  let p = { W.root_cpu = 0; daemon_cpu = 0; server_cpus = [ 1; 2 ] } in
+  let o = W.run_oltp ~pages:24 ~rows_per_page:16 ~cfg ~placement:p ~clients:2 ~txns:40 () in
+  Alcotest.(check bool) "balances add up" true o.W.ok
+
+let test_checking_overhead_oltp () =
+  (* Table 3's OLTP row: single-processor run, checks on vs off. *)
+  let run checks =
+    let cfg = W.cluster_config ~nodes:1 ~checks () in
+    let p = { W.root_cpu = 0; daemon_cpu = 0; server_cpus = [ 1 ] } in
+    (W.run_oltp ~pages:24 ~rows_per_page:16 ~cfg ~placement:p ~clients:1 ~txns:60 ()).W.elapsed
+  in
+  let base = run false in
+  let checked = run true in
+  let overhead = (checked -. base) /. base in
+  Alcotest.(check bool)
+    (Printf.sprintf "OLTP checking overhead %.1f%% plausible" (100.0 *. overhead))
+    true
+    (overhead > 0.02 && overhead < 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "DSS-1 single server" `Quick test_dss1_single_server;
+    Alcotest.test_case "DSS-1 parallel servers" `Quick test_dss1_parallel_servers;
+    Alcotest.test_case "DSS-2 longer" `Quick test_dss2_longer_than_dss1;
+    Alcotest.test_case "EX beats EQ" `Quick test_extra_proc_beats_equal;
+    Alcotest.test_case "OLTP validates" `Quick test_oltp_validates;
+    Alcotest.test_case "OLTP checking overhead" `Quick test_checking_overhead_oltp;
+  ]

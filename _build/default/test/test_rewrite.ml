@@ -1,0 +1,334 @@
+(* Tests for the binary rewriter: check insertion, batching, polls,
+   LL/SC transformation, and semantic preservation. *)
+
+open Alpha
+
+let shared_base = Rewrite.Instrument.default_options.Rewrite.Instrument.shared_base
+
+let instrument ?options prog = Rewrite.Instrument.instrument ?options prog
+
+let code_of prog name = (Program.find prog name).Program.code
+
+let count pred code = Array.fold_left (fun n i -> if pred i then n + 1 else n) 0 code
+
+let is_load_check = function Insn.Load_check _ -> true | _ -> false
+let is_store_check = function Insn.Store_check _ -> true | _ -> false
+let is_batch_check = function Insn.Batch_check _ -> true | _ -> false
+let is_poll = function Insn.Poll -> true | _ -> false
+let is_prefetch = function Insn.Prefetch_excl _ -> true | _ -> false
+let is_mb_check = function Insn.Mb_check -> true | _ -> false
+let is_ll_check = function Insn.Ll_check _ -> true | _ -> false
+let is_sc_check = function Insn.Sc_check _ -> true | _ -> false
+
+let test_private_not_checked () =
+  (* Stack (sp) and static (gp) accesses must not receive checks. *)
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [ ldq t0 0 sp; stq t0 8 sp; ldq t1 0 gp; stq t1 16 gp; halt ];
+        ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "no load checks" 0 (count is_load_check code);
+  Alcotest.(check int) "no store checks" 0 (count is_store_check code);
+  Alcotest.(check int) "no batch checks" 0 (count is_batch_check code);
+  Alcotest.(check int) "private accesses counted" 4
+    stats.Rewrite.Instrument.accesses_private
+
+let test_shared_load_checked () =
+  let prog =
+    Asm.(
+      program
+        [ proc "main" [ li t0 (Int64.of_int shared_base); ldq v0 0 t0; halt ] ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "one load check" 1 (count is_load_check code);
+  Alcotest.(check int) "loads_checked" 1 stats.Rewrite.Instrument.loads_checked;
+  (* Flag-technique check goes after the load. *)
+  let rec find i = if is_load_check code.(i) then i else find (i + 1) in
+  let ci = find 0 in
+  (match code.(ci - 1) with
+  | Insn.Ld _ -> ()
+  | _ -> Alcotest.fail "load check must directly follow the load")
+
+let test_load_into_base_uses_state_check () =
+  (* ldq t0, 0(t0) clobbers its base: flag technique impossible. *)
+  let prog =
+    Asm.(
+      program
+        [ proc "main" [ li t0 (Int64.of_int shared_base); ldq t0 0 t0; halt ] ])
+  in
+  let prog', _ = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "no flag check" 0 (count is_load_check code);
+  Alcotest.(check int) "one state-table check" 1 (count is_batch_check code)
+
+let test_store_checked_before () =
+  let prog =
+    Asm.(
+      program
+        [ proc "main" [ li t0 (Int64.of_int shared_base); stq zero 0 t0; halt ] ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "one store check" 1 (count is_store_check code);
+  Alcotest.(check int) "stores_checked" 1 stats.Rewrite.Instrument.stores_checked;
+  let rec find i = if is_store_check code.(i) then i else find (i + 1) in
+  let ci = find 0 in
+  (match code.(ci + 1) with
+  | Insn.St _ -> ()
+  | _ -> Alcotest.fail "store check must directly precede the store")
+
+let test_batching_merges_checks () =
+  (* Four nearby accesses through one base: a single batch check. *)
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [
+              li t0 (Int64.of_int shared_base);
+              ldq t1 0 t0;
+              ldq t2 8 t0;
+              stq t1 16 t0;
+              stq t2 24 t0;
+              halt;
+            ];
+        ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "one batch" 1 stats.Rewrite.Instrument.batches;
+  Alcotest.(check int) "four accesses batched" 4 stats.Rewrite.Instrument.batched_accesses;
+  Alcotest.(check int) "one batch check in code" 1 (count is_batch_check code);
+  Alcotest.(check int) "no individual load checks" 0 (count is_load_check code);
+  Alcotest.(check int) "no individual store checks" 0 (count is_store_check code)
+
+let test_batching_respects_clobbered_base () =
+  (* The base register is recomputed between accesses: the run must split
+     and the second access cannot join the first batch. *)
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [
+              li t0 (Int64.of_int shared_base);
+              ldq t1 0 t0;
+              ldq t2 8 t0;
+              addi t0 64 t0;
+              ldq t3 0 t0;
+              ldq t4 8 t0;
+              halt;
+            ];
+        ])
+  in
+  let _, stats = instrument prog in
+  Alcotest.(check int) "two batches" 2 stats.Rewrite.Instrument.batches
+
+let test_no_batch_option () =
+  let options = { Rewrite.Instrument.default_options with Rewrite.Instrument.batching = false } in
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [ li t0 (Int64.of_int shared_base); ldq t1 0 t0; ldq t2 8 t0; halt ];
+        ])
+  in
+  let prog', stats = instrument ~options prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "no batches" 0 stats.Rewrite.Instrument.batches;
+  Alcotest.(check int) "two load checks" 2 (count is_load_check code)
+
+let test_poll_at_backedge () =
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [ li t0 100L; label "loop"; subi t0 1 t0; bgt t0 "loop"; halt ];
+        ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "one poll" 1 (count is_poll code);
+  Alcotest.(check int) "stat" 1 stats.Rewrite.Instrument.polls_inserted;
+  (* The poll sits before the backedge so it runs on every iteration. *)
+  let rec find i = if is_poll code.(i) then i else find (i + 1) in
+  let pi = find 0 in
+  (match code.(pi + 1) with
+  | Insn.Bcond _ -> ()
+  | _ -> Alcotest.fail "poll must precede the backedge branch")
+
+let test_llsc_transform () =
+  (* The paper's Figure 1 lock-acquire loop. *)
+  let prog =
+    Asm.(
+      program
+        [
+          proc "acquire"
+            [
+              label "try_again";
+              ll W32 t0 0 a0;
+              bne t0 "try_again";
+              li t0 1L;
+              sc W32 t0 0 a0;
+              beq t0 "try_again";
+              mb;
+              ret;
+            ];
+        ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "acquire" in
+  Alcotest.(check int) "pair found" 1 stats.Rewrite.Instrument.llsc_pairs;
+  Alcotest.(check int) "ll_check" 1 (count is_ll_check code);
+  Alcotest.(check int) "sc_check" 1 (count is_sc_check code);
+  Alcotest.(check int) "prefetch hoisted" 1 (count is_prefetch code);
+  Alcotest.(check int) "mb check" 1 (count is_mb_check code);
+  (* No poll between LL and SC; the backedges are poll-free because they
+     lie inside the LL/SC range... except branches after the SC. *)
+  let ll_i = ref (-1) and sc_i = ref (-1) in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Ll _ -> ll_i := i
+      | Insn.Sc _ -> sc_i := i
+      | _ -> ())
+    code;
+  for i = !ll_i to !sc_i do
+    if is_poll code.(i) then Alcotest.fail "poll inside LL/SC success path"
+  done;
+  (* Prefetch must be outside the loop: before the "try_again" label. *)
+  let header = Program.label_index (Program.find prog' "acquire") "try_again" in
+  let found_before = ref false in
+  for i = 0 to header - 1 do
+    if is_prefetch code.(i) then found_before := true
+  done;
+  Alcotest.(check bool) "prefetch before loop header" true !found_before
+
+let test_mb_check_inserted () =
+  let prog = Asm.(program [ proc "main" [ mb; mb; halt ] ]) in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "two mb checks" 2 (count is_mb_check code);
+  Alcotest.(check int) "stat" 2 stats.Rewrite.Instrument.mb_checks_inserted
+
+let test_code_growth () =
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [
+              li t0 (Int64.of_int shared_base);
+              label "loop";
+              ldq t1 0 t0;
+              stq t1 8 t0;
+              subi t2 1 t2;
+              bgt t2 "loop";
+              halt;
+            ];
+        ])
+  in
+  let _, stats = instrument prog in
+  let growth = Rewrite.Instrument.code_growth stats in
+  Alcotest.(check bool) "code grows" true (growth > 0.1);
+  Alcotest.(check bool) "but not absurdly" true (growth < 3.0)
+
+let run_flat ?args prog entry =
+  let rt = Runtime.flat ~size:(1 lsl 16) () in
+  Interp.run prog rt ~entry ?args ()
+
+(* Semantic preservation: on a flat (hardware-like) runtime, where checks
+   are no-ops, the instrumented program computes the same result. *)
+let test_semantics_preserved_lock_program () =
+  let body =
+    Asm.
+      [
+        li a0 0x100L;
+        label "try_again";
+        ll W32 t0 0 a0;
+        bne t0 "try_again";
+        li t0 1L;
+        sc W32 t0 0 a0;
+        beq t0 "try_again";
+        mb;
+        ldl v0 0 a0;
+        halt;
+      ]
+  in
+  let prog = Asm.(program [ proc "main" body ]) in
+  let prog', _ = instrument prog in
+  Alcotest.(check int64) "same result" (run_flat prog "main").Interp.r0
+    (run_flat prog' "main").Interp.r0
+
+let qcheck_semantics_preserved =
+  (* Random straight-line programs over private and shared addresses give
+     identical results with and without instrumentation on a flat
+     runtime. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (oneof
+           [
+             map2 (fun r v -> Asm.li (1 + (r mod 8)) (Int64.of_int v)) (int_range 0 7) (int_range 0 1000);
+             map3
+               (fun a b d -> Asm.add (1 + (a mod 8)) (1 + (b mod 8)) (1 + (d mod 8)))
+               (int_range 0 7) (int_range 0 7) (int_range 0 7)
+             (* loads/stores via a shared pointer in t8 and private in sp *);
+             map2
+               (fun off r -> Asm.stq (1 + (r mod 8)) (8 * (off mod 16)) Asm.t8)
+               (int_range 0 15) (int_range 0 7);
+             map2
+               (fun off d -> Asm.ldq (1 + (d mod 8)) (8 * (off mod 16)) Asm.t8)
+               (int_range 0 15) (int_range 0 7);
+             map2
+               (fun off r -> Asm.stq (1 + (r mod 8)) (8 * (off mod 16)) Asm.sp)
+               (int_range 0 15) (int_range 0 7);
+           ]))
+  in
+  QCheck.Test.make ~name:"instrumentation preserves straight-line semantics" ~count:100
+    (QCheck.make gen) (fun body ->
+      (* t8 points at offset 0x2000; sp at 0x4000; sum all registers into
+         v0 at the end to observe the whole state. *)
+      let prologue = Asm.[ li t8 0x2000L; li sp 0x4000L ] in
+      let epilogue =
+        Asm.(
+          [ li v0 0L ]
+          @ List.concat_map (fun r -> [ add v0 r v0 ]) [ t0; t1; t2; t3; t4; t5; t6; t7 ]
+          @ [ halt ])
+      in
+      let full = prologue @ body @ epilogue in
+      let prog = Asm.(program [ proc "main" full ]) in
+      let prog', _ = instrument prog in
+      (run_flat prog "main").Interp.r0 = (run_flat prog' "main").Interp.r0)
+
+let test_modification_time_model () =
+  let splash = Rewrite.Instrument.modification_time_model ~procedures:370 ~slots:200_000 in
+  let oracle = Rewrite.Instrument.modification_time_model ~procedures:12_000 ~slots:3_000_000 in
+  Alcotest.(check bool) "SPLASH ~4-8s" true (splash > 3.0 && splash < 9.0);
+  Alcotest.(check bool) "Oracle ~180-220s" true (oracle > 150.0 && oracle < 260.0)
+
+let suite =
+  [
+    Alcotest.test_case "private not checked" `Quick test_private_not_checked;
+    Alcotest.test_case "shared load checked (flag)" `Quick test_shared_load_checked;
+    Alcotest.test_case "load into base uses state check" `Quick test_load_into_base_uses_state_check;
+    Alcotest.test_case "store checked before" `Quick test_store_checked_before;
+    Alcotest.test_case "batching merges" `Quick test_batching_merges_checks;
+    Alcotest.test_case "batching respects clobbered base" `Quick test_batching_respects_clobbered_base;
+    Alcotest.test_case "batching can be disabled" `Quick test_no_batch_option;
+    Alcotest.test_case "poll at backedge" `Quick test_poll_at_backedge;
+    Alcotest.test_case "LL/SC transform" `Quick test_llsc_transform;
+    Alcotest.test_case "MB check inserted" `Quick test_mb_check_inserted;
+    Alcotest.test_case "code growth" `Quick test_code_growth;
+    Alcotest.test_case "lock program semantics preserved" `Quick test_semantics_preserved_lock_program;
+    Alcotest.test_case "modification time model" `Quick test_modification_time_model;
+    QCheck_alcotest.to_alcotest qcheck_semantics_preserved;
+  ]

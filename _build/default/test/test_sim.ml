@@ -1,0 +1,310 @@
+(* Unit tests for the discrete-event engine, heap, signals, processes. *)
+
+open Sim
+
+let check_f = Alcotest.(check (float 1e-12))
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:0 "c";
+  Heap.push h ~time:1.0 ~seq:1 "a";
+  Heap.push h ~time:2.0 ~seq:2 "b";
+  Heap.push h ~time:1.0 ~seq:3 "a2";
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some e ->
+        popped := e.Heap.value :: !popped;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "order" [ "a"; "a2"; "b"; "c" ] (List.rev !popped)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.push h ~time:1.0 ~seq:i i
+  done;
+  for i = 0 to 99 do
+    match Heap.pop h with
+    | None -> Alcotest.fail "heap empty too early"
+    | Some e -> Alcotest.(check int) "fifo" i e.Heap.value
+  done
+
+let test_engine_run () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.at eng 2.0 (fun () -> log := 2 :: !log);
+  Engine.at eng 1.0 (fun () ->
+      log := 1 :: !log;
+      Engine.after eng 0.5 (fun () -> log := 15 :: !log));
+  let reason = Engine.run eng in
+  Alcotest.(check (list int)) "events in order" [ 1; 15; 2 ] (List.rev !log);
+  check_f "clock at last event" 2.0 (Engine.now eng);
+  (match reason with
+  | Engine.Quiescent -> ()
+  | Engine.Deadline | Engine.Event_budget -> Alcotest.fail "expected quiescence")
+
+let test_engine_deadline () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  Engine.at eng 10.0 (fun () -> fired := true);
+  (match Engine.run ~until:5.0 eng with
+  | Engine.Deadline -> ()
+  | Engine.Quiescent | Engine.Event_budget -> Alcotest.fail "expected deadline");
+  Alcotest.(check bool) "late event did not fire" false !fired;
+  check_f "clock advanced to deadline" 5.0 (Engine.now eng)
+
+let test_engine_past_rejected () =
+  let eng = Engine.create () in
+  Engine.at eng 1.0 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.at: time 0.5 is in the past (now 1)")
+        (fun () -> Engine.at eng 0.5 ignore));
+  ignore (Engine.run eng)
+
+let make_cpu ?(quantum = 0.010) ?(switch_cost = 0.0) eng =
+  Proc.make_cpu ~engine:eng ~node_id:0 ~cpu_global_id:0 ~quantum ~switch_cost (ref 0)
+
+let test_proc_work_advances_time () =
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let t_end = ref 0.0 in
+  let p =
+    Proc.spawn cpu (fun () ->
+        Proc.work 0.001;
+        t_end := Engine.now eng)
+  in
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "finished" true (Proc.finished p);
+  check_f "time consumed" 0.001 !t_end
+
+let test_proc_round_robin () =
+  (* Two processes each needing 30 ms of CPU on one processor with a 10 ms
+     quantum: both should finish at ~60 ms, interleaved. *)
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let done_a = ref 0.0 and done_b = ref 0.0 in
+  let _a = Proc.spawn cpu (fun () -> Proc.work 0.030; done_a := Engine.now eng) in
+  let _b = Proc.spawn cpu (fun () -> Proc.work 0.030; done_b := Engine.now eng) in
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "a finished near 50-60ms" true (!done_a > 0.045 && !done_a <= 0.0601);
+  Alcotest.(check bool) "b finished near 60ms" true (!done_b > 0.055 && !done_b <= 0.0601)
+
+let test_proc_block_wakeup () =
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let woke = ref 0.0 in
+  let p =
+    Proc.spawn cpu (fun () ->
+        Proc.block ();
+        woke := Engine.now eng)
+  in
+  Engine.at eng 0.5 (fun () -> Proc.wakeup p);
+  ignore (Engine.run eng);
+  check_f "woken at 0.5" 0.5 !woke
+
+let test_proc_sleep () =
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let woke = ref 0.0 in
+  let _ = Proc.spawn cpu (fun () -> Proc.sleep 0.25; woke := Engine.now eng) in
+  ignore (Engine.run eng);
+  check_f "slept" 0.25 !woke
+
+let test_proc_sleep_releases_cpu () =
+  (* While one process sleeps, the other gets the CPU immediately. *)
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let b_done = ref 0.0 in
+  let _a = Proc.spawn cpu (fun () -> Proc.sleep 1.0) in
+  let _b = Proc.spawn cpu (fun () -> Proc.work 0.005; b_done := Engine.now eng) in
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "b ran during a's sleep" true (!b_done < 0.01)
+
+let test_proc_stall_signal () =
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let s = Signal.create eng in
+  let flag = ref false in
+  let resumed = ref 0.0 in
+  let p =
+    Proc.spawn cpu (fun () ->
+        Proc.stall (fun () -> !flag);
+        resumed := Engine.now eng)
+  in
+  p.Proc.stall_signal <- Some s;
+  Engine.at eng 0.1 (fun () ->
+      flag := true;
+      Signal.pulse s);
+  ignore (Engine.run eng);
+  check_f "resumed at pulse" 0.1 !resumed
+
+let test_proc_stall_services_messages () =
+  (* The poll hook reports service time; the stalling process should charge
+     it to msg_time and keep re-checking the predicate. *)
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let s = Signal.create eng in
+  let pending = ref 0 in
+  let flag = ref false in
+  let p =
+    Proc.spawn cpu (fun () ->
+        Proc.stall (fun () -> !flag))
+  in
+  p.Proc.stall_signal <- Some s;
+  p.Proc.on_poll <-
+    (fun _ ->
+      if !pending > 0 then begin
+        decr pending;
+        if !pending = 0 then flag := true;
+        0.00001
+      end
+      else 0.0);
+  Engine.at eng 0.05 (fun () ->
+      pending := 3;
+      Signal.pulse s);
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "finished" true (Proc.finished p);
+  Alcotest.(check bool) "service time charged" true (p.Proc.msg_time > 0.000029)
+
+let test_proc_priority_preemption () =
+  (* A low-priority (protocol) process is preempted as soon as an
+     application process becomes runnable. *)
+  let eng = Engine.create () in
+  let cpu = make_cpu ~quantum:1.0 eng in
+  let app_done = ref 0.0 in
+  let _proto =
+    Proc.spawn ~priority:1 cpu (fun () -> Proc.work 10.0)
+  in
+  Engine.at eng 0.001 (fun () ->
+      ignore
+        (Proc.spawn ~priority:0 cpu (fun () ->
+             Proc.work 0.002;
+             app_done := Engine.now eng)));
+  ignore (Engine.run ~until:20.0 eng);
+  Alcotest.(check bool) "app ran promptly despite busy protocol proc" true
+    (!app_done > 0.0 && !app_done < 0.005)
+
+let test_proc_join () =
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let order = ref [] in
+  let a = Proc.spawn cpu (fun () -> Proc.work 0.002; order := "a" :: !order) in
+  let _b =
+    Proc.spawn cpu (fun () ->
+        Proc.join a;
+        order := "b" :: !order)
+  in
+  ignore (Engine.run eng);
+  Alcotest.(check (list string)) "join ordering" [ "a"; "b" ] (List.rev !order)
+
+let test_proc_join_propagates_failure () =
+  let eng = Engine.create () in
+  let cpu = make_cpu eng in
+  let a = Proc.spawn cpu (fun () -> failwith "boom") in
+  let caught = ref false in
+  let _b =
+    Proc.spawn cpu (fun () ->
+        try Proc.join a with Failure m -> caught := m = "boom")
+  in
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "failure propagated via join" true !caught
+
+let test_quantum_wait_preemption () =
+  (* A process waiting on a signal that never fires must lose the CPU to a
+     runnable process at its quantum boundary. *)
+  let eng = Engine.create () in
+  let cpu = make_cpu ~quantum:0.010 eng in
+  let s = Signal.create eng in
+  let other_done = ref 0.0 in
+  let flag = ref false in
+  let p = Proc.spawn cpu (fun () -> Proc.stall (fun () -> !flag)) in
+  p.Proc.stall_signal <- Some s;
+  Engine.at eng 0.001 (fun () ->
+      ignore
+        (Proc.spawn cpu (fun () ->
+             Proc.work 0.001;
+             other_done := Engine.now eng)));
+  Engine.at eng 1.0 (fun () ->
+      flag := true;
+      Signal.pulse s);
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "other ran after quantum expiry" true
+    (!other_done > 0.009 && !other_done < 0.10)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  let xs = Array.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = Array.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_stats_summary () =
+  let s = Stats.summary () in
+  List.iter (Stats.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_f "mean" 2.5 (Stats.mean s);
+  check_f "min" 1.0 (Stats.minimum s);
+  check_f "max" 4.0 (Stats.maximum s);
+  Alcotest.(check (float 1e-9)) "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  for i = 0 to 99 do
+    Stats.record h (float_of_int (i mod 10) +. 0.5)
+  done;
+  Alcotest.(check int) "observations" 100 (Stats.observations h);
+  Alcotest.(check bool) "median near 5" true (abs_float (Stats.percentile h 50.0 -. 4.5) < 1.0)
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some e -> drain (e.Heap.time :: acc)
+      in
+      let times = drain [] in
+      List.sort compare times = times)
+
+let qcheck_summary_mean =
+  QCheck.Test.make ~name:"summary mean matches direct mean" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let s = Stats.summary () in
+      List.iter (Stats.observe s) xs;
+      let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      abs_float (Stats.mean s -. direct) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "heap order" `Quick test_heap_order;
+    Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "engine run" `Quick test_engine_run;
+    Alcotest.test_case "engine deadline" `Quick test_engine_deadline;
+    Alcotest.test_case "engine rejects past events" `Quick test_engine_past_rejected;
+    Alcotest.test_case "work advances time" `Quick test_proc_work_advances_time;
+    Alcotest.test_case "round robin" `Quick test_proc_round_robin;
+    Alcotest.test_case "block/wakeup" `Quick test_proc_block_wakeup;
+    Alcotest.test_case "sleep" `Quick test_proc_sleep;
+    Alcotest.test_case "sleep releases cpu" `Quick test_proc_sleep_releases_cpu;
+    Alcotest.test_case "stall wakes on signal" `Quick test_proc_stall_signal;
+    Alcotest.test_case "stall services messages" `Quick test_proc_stall_services_messages;
+    Alcotest.test_case "priority preemption" `Quick test_proc_priority_preemption;
+    Alcotest.test_case "join" `Quick test_proc_join;
+    Alcotest.test_case "join propagates failure" `Quick test_proc_join_propagates_failure;
+    Alcotest.test_case "quantum preempts waiting proc" `Quick test_quantum_wait_preemption;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+    QCheck_alcotest.to_alcotest qcheck_summary_mean;
+  ]
