@@ -1,0 +1,66 @@
+(* Slowdown versus injected message-drop rate: what the reliable
+   transport costs the directory protocol as the simulated Memory
+   Channel degrades.  Runs LU and Ocean on a 2x2 cluster at increasing
+   drop rates and reports simulated time, slowdown over the fault-free
+   channel, and the transport's repair work. *)
+
+module Plan = Fault.Plan
+
+let cluster plan =
+  Shasta.Cluster.create
+    {
+      Shasta.Config.default with
+      Shasta.Config.net =
+        { Mchan.Net.default_config with Mchan.Net.nodes = 2; cpus_per_node = 2 };
+      fault_plan = plan;
+      protocol =
+        { Protocol.Config.default with Protocol.Config.shared_size = 4 * 1024 * 1024 };
+    }
+
+let measure spec ~size plan =
+  let cl = cluster plan in
+  let elapsed, ok = Apps.Harness.run_spec cl spec ~nprocs:4 ~sync:Apps.Harness.Mp ~size () in
+  if not ok then failwith (spec.Apps.Harness.name ^ " failed to validate");
+  let tot =
+    match Shasta.Cluster.reliable cl with
+    | None ->
+        {
+          Mchan.Reliable.data_sent = Mchan.Net.remote_messages cl.Shasta.Cluster.net;
+          retransmits = 0;
+          acks_sent = 0;
+          inj_dropped = 0;
+          inj_duplicated = 0;
+          inj_corrupted = 0;
+          inj_delayed = 0;
+          dup_suppressed = 0;
+          outage_dropped = 0;
+        }
+    | Some r -> Mchan.Reliable.totals r
+  in
+  (elapsed, tot)
+
+let drop_rates = [ 0.01; 0.02; 0.05; 0.10; 0.20 ]
+
+let run_faults () =
+  Printf.printf "\n== Reliable transport: slowdown vs injected drop rate (4 procs, 2 nodes) ==\n";
+  List.iter
+    (fun (spec, size) ->
+      let base, base_tot = measure spec ~size Plan.empty in
+      Printf.printf "%s (size %d):\n" spec.Apps.Harness.name size;
+      Printf.printf
+        "  drop  0.0%%: %8.3f ms   slowdown 1.00x   msgs %6d   retx      0   acks      0\n"
+        (1000.0 *. base) base_tot.Mchan.Reliable.data_sent;
+      List.iter
+        (fun drop ->
+          let plan =
+            Plan.create ~seed:11
+              ~default:{ Plan.no_faults with Plan.drop }
+              ()
+          in
+          let t, tot = measure spec ~size plan in
+          Printf.printf
+            "  drop %4.1f%%: %8.3f ms   slowdown %.2fx   msgs %6d   retx %6d   acks %6d\n"
+            (100.0 *. drop) (1000.0 *. t) (t /. base) tot.Mchan.Reliable.data_sent
+            tot.Mchan.Reliable.retransmits tot.Mchan.Reliable.acks_sent)
+        drop_rates)
+    [ (Apps.Lu.spec, 32); (Apps.Ocean.spec, 18) ]

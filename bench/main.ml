@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- table1  -- one experiment
 
    Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
-   rewrite_time ablation micro *)
+   rewrite_time ablation micro faults *)
 
 let experiments =
   [
@@ -20,6 +20,7 @@ let experiments =
     ("rewrite_time", Experiments.rewrite_time);
     ("ablation", Experiments.ablation);
     ("micro", Micro.run_micro);
+    ("faults", Faults.run_faults);
   ]
 
 let () =

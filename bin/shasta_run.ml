@@ -16,6 +16,7 @@ let () =
   let checks = ref true in
   let line = ref 64 in
   let stats = ref false in
+  let faults = ref "" in
   let spec_list =
     String.concat ", " (List.map (fun s -> s.Apps.Harness.name) Apps.Registry.all)
   in
@@ -32,13 +33,18 @@ let () =
       ("--no-checks", Arg.Clear checks, " run as the original binary (no inline checks)");
       ("--line", Arg.Set_int line, " coherence line size in bytes");
       ("--stats", Arg.Set stats, " print per-process protocol statistics");
+      ( "--faults",
+        Arg.Set_string faults,
+        " fault plan, e.g. \"seed=42,drop=0.05,delay=0.1:2e-5,stall=1@0.001:0.0005\"" );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_run [options]";
   let spec = Apps.Registry.find !app in
+  let plan = if !faults = "" then Fault.Plan.empty else Fault.Plan.of_spec !faults in
   let cfg =
     {
       Shasta.Config.default with
+      Shasta.Config.fault_plan = plan;
       Shasta.Config.net =
         { Mchan.Net.default_config with Mchan.Net.nodes = !nodes; cpus_per_node = !cpus };
       checks_enabled = !checks;
@@ -64,6 +70,7 @@ let () =
   Format.printf "breakdown: %a@." Shasta.Breakdown.pp
     (let b = Shasta.Cluster.total_breakdown cl in
      Shasta.Breakdown.normalize ~against:b b);
+  Format.printf "%a" Shasta.Cluster.pp_fault_report cl;
   if !stats then
     List.iter
       (fun h ->

@@ -41,9 +41,12 @@ type t = {
   next_pid : int ref;
   mutable remote_messages : int;
   mutable local_messages : int;
+  mutable reliable : Reliable.t option;
+      (** installed only under a non-empty fault plan; [None] keeps the
+          raw perfectly-reliable path with zero transport overhead *)
 }
 
-let create config =
+let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config) config =
   if config.nodes <= 0 || config.cpus_per_node <= 0 then invalid_arg "Net.create";
   let engine = Sim.Engine.create () in
   let next_pid = ref 0 in
@@ -56,7 +59,35 @@ let create config =
   in
   let node_signal = Array.init config.nodes (fun _ -> Sim.Signal.create engine) in
   let tx = Array.init config.nodes (fun _ -> Link.create ~bandwidth:config.bandwidth) in
-  { engine; config; cpus; node_signal; tx; next_pid; remote_messages = 0; local_messages = 0 }
+  let t =
+    {
+      engine;
+      config;
+      cpus;
+      node_signal;
+      tx;
+      next_pid;
+      remote_messages = 0;
+      local_messages = 0;
+      reliable = None;
+    }
+  in
+  if not (Fault.Plan.is_empty plan) then begin
+    let phys ~at ~src_node ~dst_node ~size k =
+      let arrival =
+        if src_node = dst_node then at +. config.intra_node_latency
+        else
+          let leaves = Link.transmit t.tx.(src_node) ~now:at ~size in
+          leaves +. config.one_way_latency
+      in
+      Sim.Engine.at engine arrival (fun () -> k arrival)
+    in
+    let pulse node = Sim.Signal.pulse t.node_signal.(node) in
+    t.reliable <- Some (Reliable.create ~engine ~plan ~cfg:reliable_cfg ~phys ~pulse)
+  end;
+  t
+
+let reliable t = t.reliable
 
 let engine t = t.engine
 let config t = t.config
@@ -78,20 +109,26 @@ let nth_cpu t i =
     messages back-to-back pass their time cursor. *)
 let send t ?at ~src_node ~dst_node ~size deliver =
   let now = match at with Some x -> x | None -> Sim.Engine.now t.engine in
-  let arrival =
-    if src_node = dst_node then begin
-      t.local_messages <- t.local_messages + 1;
-      now +. t.config.intra_node_latency
-    end
-    else begin
-      t.remote_messages <- t.remote_messages + 1;
-      let leaves = Link.transmit t.tx.(src_node) ~now ~size in
-      leaves +. t.config.one_way_latency
-    end
-  in
-  Sim.Engine.at t.engine arrival (fun () ->
-      deliver ();
-      Sim.Signal.pulse t.node_signal.(dst_node))
+  if src_node = dst_node then begin
+    (* Intra-node messages move through shared memory, not the Memory
+       Channel: the fault model never touches them. *)
+    t.local_messages <- t.local_messages + 1;
+    let arrival = now +. t.config.intra_node_latency in
+    Sim.Engine.at t.engine arrival (fun () ->
+        deliver ();
+        Sim.Signal.pulse t.node_signal.(dst_node))
+  end
+  else begin
+    t.remote_messages <- t.remote_messages + 1;
+    match t.reliable with
+    | Some r -> Reliable.send r ~at:now ~src_node ~dst_node ~size deliver
+    | None ->
+        let leaves = Link.transmit t.tx.(src_node) ~now ~size in
+        let arrival = leaves +. t.config.one_way_latency in
+        Sim.Engine.at t.engine arrival (fun () ->
+            deliver ();
+            Sim.Signal.pulse t.node_signal.(dst_node))
+  end
 
 let remote_messages t = t.remote_messages
 let local_messages t = t.local_messages

@@ -24,7 +24,7 @@ type t = {
 }
 
 let create cfg =
-  let net = Mchan.Net.create cfg.Config.net in
+  let net = Mchan.Net.create ~plan:cfg.Config.fault_plan cfg.Config.net in
   let peng = Protocol.Engine.create ~cfg:cfg.Config.protocol ~net in
   let sync = Sync.create ~net ~costs:cfg.Config.protocol.Protocol.Config.costs in
   {
@@ -114,6 +114,17 @@ let run ?(until = 3600.0) t =
       | None -> ())
     t.procs;
   now t -. t.started_at
+
+(** [reliable t] — the fault-tolerant transport, when a fault plan is
+    active ([None] on a perfectly-reliable channel). *)
+let reliable t = Mchan.Net.reliable t.net
+
+(** [pp_fault_report ppf t] — end-of-run per-link fault and retransmit
+    counters; prints nothing without an active fault plan. *)
+let pp_fault_report ppf t =
+  match reliable t with
+  | None -> ()
+  | Some r -> Format.fprintf ppf "%a@." Mchan.Reliable.pp_report r
 
 let runtimes t = List.rev_map snd t.procs
 

@@ -20,6 +20,9 @@ type t = {
           on hardware, the baseline of Table 3) *)
   cpu_hz : float;
   private_mem_size : int;  (** per-process stack/static area, bytes *)
+  fault_plan : Fault.Plan.t;
+      (** injected network/node faults; the empty plan keeps the raw
+          perfectly-reliable channel *)
 }
 
 let default =
@@ -30,6 +33,7 @@ let default =
     checks_enabled = true;
     cpu_hz = Sim.Units.default_cpu_hz;
     private_mem_size = 1 lsl 20;
+    fault_plan = Fault.Plan.empty;
   }
 
 (** [uniprocessor] — one processor, checks off: the "standard

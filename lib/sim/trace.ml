@@ -14,7 +14,16 @@ let enable ?(level = Logs.Debug) () =
 
 let disable () = Logs.Src.set_level src None
 
+(* SHASTA_TRACE=debug|info enables tracing at load time, so a CLI run
+   can be traced without a code change or a flag. *)
+let () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "SHASTA_TRACE") with
+  | Some "debug" -> enable ~level:Logs.Debug ()
+  | Some "info" -> enable ~level:Logs.Info ()
+  | Some _ | None -> ()
+
 (** [f engine fmt ...] logs a debug line prefixed with the virtual time. *)
 let f engine fmt =
-  Log.debug (fun m ->
-      m ("[%a] " ^^ fmt) Units.pp_time (Engine.now engine))
+  Format.kasprintf
+    (fun s -> Log.debug (fun m -> m "[%a] %s" Units.pp_time (Engine.now engine) s))
+    fmt

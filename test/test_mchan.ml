@@ -76,6 +76,36 @@ let test_nth_cpu_node_major () =
   Alcotest.(check int) "global id" 5 c5.Proc.cpu_global_id;
   Alcotest.(check int) "total cpus" 16 (Mchan.Net.total_cpus net)
 
+let test_zero_byte_payload () =
+  (* A zero-byte message occupies the link for zero time and leaves the
+     occupancy accounting untouched, but still counts as a message. *)
+  let link = Mchan.Link.create ~bandwidth:60.0e6 in
+  let fin = Mchan.Link.transmit link ~now:0.5 ~size:0 in
+  check_f "leaves instantly" 0.5 fin;
+  check_f "no occupancy" 0.0 (Mchan.Link.occupancy link);
+  Alcotest.(check int) "counted as a message" 1 (Mchan.Link.messages link);
+  Alcotest.(check int) "no bytes" 0 (Mchan.Link.bytes link);
+  (* A later real transfer is not pushed back by the zero-byte one. *)
+  let fin2 = Mchan.Link.transmit link ~now:0.5 ~size:60000 in
+  check_f "next transfer starts immediately" (0.5 +. 0.001) fin2
+
+let test_link_saturation () =
+  (* Back-to-back sends injected at the same instant serialise: message
+     k leaves at (k+1) transfer times, and total occupancy equals the
+     sum of the transfer times (the link is never idle). *)
+  let link = Mchan.Link.create ~bandwidth:60.0e6 in
+  let xfer = 6000.0 /. 60.0e6 in
+  for k = 0 to 9 do
+    let fin = Mchan.Link.transmit link ~now:0.0 ~size:6000 in
+    check_f (Printf.sprintf "message %d serialised" k) (float_of_int (k + 1) *. xfer) fin
+  done;
+  check_f "occupancy is the busy time" (10.0 *. xfer) (Mchan.Link.occupancy link);
+  Alcotest.(check int) "bytes accumulated" 60000 (Mchan.Link.bytes link);
+  (* A message injected while the link is saturated queues behind the
+     backlog rather than starting at its injection time. *)
+  let fin = Mchan.Link.transmit link ~now:(xfer /. 2.0) ~size:6000 in
+  check_f "mid-busy injection queues" (11.0 *. xfer) fin
+
 let qcheck_link_never_overlaps =
   QCheck.Test.make ~name:"link transmissions never overlap" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 30) (pair (float_bound_exclusive 0.01) (int_range 1 10000)))
@@ -102,5 +132,7 @@ let suite =
     Alcotest.test_case "signal pulsed on arrival" `Quick test_signal_pulsed_on_arrival;
     Alcotest.test_case "mailbox FIFO" `Quick test_mailbox_fifo;
     Alcotest.test_case "nth_cpu node-major" `Quick test_nth_cpu_node_major;
+    Alcotest.test_case "zero-byte payload" `Quick test_zero_byte_payload;
+    Alcotest.test_case "link saturation" `Quick test_link_saturation;
     QCheck_alcotest.to_alcotest qcheck_link_never_overlaps;
   ]
