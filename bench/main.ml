@@ -21,6 +21,7 @@ let experiments =
     ("ablation", Experiments.ablation);
     ("micro", Micro.run_micro);
     ("faults", Faults.run_faults);
+    ("checker", Checker.run_checker);
   ]
 
 let () =

@@ -1,140 +1,127 @@
-(* Memory-model litmus tests, including the paper's Figure 2 example,
-   executed through the full protocol.
+(* Memory-model litmus tests (Figure 2 of the paper, message passing,
+   Dekker under Sc, LL/SC atomicity) run through the schedule explorer
+   and coherence-checking layers of lib/check.
 
-     dune exec bin/litmus.exe
-*)
+     dune exec bin/litmus.exe -- [--seeds N] [--jitter] [--explore]
+                                 [--mutate] [--out FILE]
 
-module C = Shasta.Cluster
-module R = Shasta.Runtime
+   Every run executes with the per-message invariant checker on, a
+   quiescence sweep, the scenario's outcome check and the SC trace
+   oracle.  Exit status is 1 when any violation is found (or, under
+   --mutate, when a seeded protocol bug goes undetected); failing
+   schedules are appended to --out so CI can upload them as artifacts.
+   To reproduce a reported seed locally:
 
-let cluster () =
-  C.create
-    {
-      Shasta.Config.default with
-      Shasta.Config.net = { Mchan.Net.default_config with Mchan.Net.nodes = 4; cpus_per_node = 1 };
-      protocol = { Protocol.Config.default with Protocol.Config.shared_size = 1024 * 1024 };
-    }
-
-let spin h addr =
-  let rec go () =
-    if R.load_int h addr <> 1 then begin
-      R.work_cycles h 30;
-      R.flush h;
-      Sim.Proc.work 1e-7;
-      go ()
-    end
-  in
-  go ()
-
-(* Figure 2: P1 and P2 write A and publish via flags; P3 and P4 read A
-   after acquiring both flags.  Under the Alpha memory model the only
-   allowed outcomes are (r1,r2) = (1,1) or (2,2): writes to A must be
-   serialised and eventually propagated. *)
-let figure2 round =
-  let cl = cluster () in
-  let a = C.alloc cl 64 in
-  let f1 = C.alloc cl 64 and f2 = C.alloc cl 64 in
-  let f3 = C.alloc cl 64 and f4 = C.alloc cl 64 in
-  let r1 = ref 0 and r2 = ref 0 in
-  let stagger p h = Sim.Proc.work (float_of_int ((p * 13) + round) *. 1e-7); ignore h in
-  let _ =
-    C.spawn cl ~cpu:0 "P1" (fun h ->
-        stagger 0 h;
-        R.store_int h a 1;
-        R.mb h;
-        R.store_int h f1 1;
-        R.mb h;
-        R.store_int h f2 1)
-  in
-  let _ =
-    C.spawn cl ~cpu:1 "P2" (fun h ->
-        stagger 1 h;
-        R.store_int h a 2;
-        R.mb h;
-        R.store_int h f3 1;
-        R.mb h;
-        R.store_int h f4 1)
-  in
-  let _ =
-    C.spawn cl ~cpu:2 "P3" (fun h ->
-        spin h f1;
-        spin h f3;
-        r1 := R.load_int h a)
-  in
-  let _ =
-    C.spawn cl ~cpu:3 "P4" (fun h ->
-        spin h f2;
-        spin h f4;
-        r2 := R.load_int h a)
-  in
-  ignore (C.run cl);
-  (!r1, !r2)
-
-(* Message passing: the classic MP litmus — data must be visible when the
-   flag is. *)
-let message_passing round =
-  let cl = cluster () in
-  let data = C.alloc cl 64 and flag = C.alloc cl 64 in
-  let seen = ref (-1) in
-  let _ =
-    C.spawn cl ~cpu:0 "writer" (fun h ->
-        Sim.Proc.work (float_of_int round *. 1e-7);
-        R.store_int h data 42;
-        R.mb h;
-        R.store_int h flag 1)
-  in
-  let _ =
-    C.spawn cl ~cpu:2 "reader" (fun h ->
-        spin h flag;
-        (* An MB on the acquire side orders the flag read before the data
-           read under the Alpha model. *)
-        R.mb h;
-        seen := R.load_int h data)
-  in
-  ignore (C.run cl);
-  !seen
-
-(* Store atomicity via LL/SC: concurrent fetch-and-adds never lose an
-   update. *)
-let atomic_increment () =
-  let cl = cluster () in
-  let counter = C.alloc cl 64 in
-  for p = 0 to 3 do
-    ignore
-      (C.spawn cl ~cpu:p "inc" (fun h ->
-           for _ = 1 to 25 do
-             ignore (R.atomic_add h counter 1)
-           done))
-  done;
-  ignore (C.run cl);
-  Apps.Harness.read_valid cl counter
+     dune exec bin/litmus.exe -- --seeds N       # covers seeds 1..N *)
 
 let () =
-  let failures = ref 0 in
-  Printf.printf "Figure 2 (write serialisation + eventual propagation):\n";
-  for round = 1 to 10 do
-    let r1, r2 = figure2 round in
-    let ok = (r1 = 1 && r2 = 1) || (r1 = 2 && r2 = 2) in
-    if not ok then incr failures;
-    Printf.printf "  round %2d: (r1,r2) = (%d,%d)  %s\n" round r1 r2 (if ok then "ok" else "VIOLATION")
-  done;
-  Printf.printf "\nMessage passing (data visible with flag):\n";
-  for round = 1 to 10 do
-    let seen = message_passing round in
-    if seen <> 42 then incr failures;
-    Printf.printf "  round %2d: read %d  %s\n" round seen (if seen = 42 then "ok" else "VIOLATION")
-  done;
-  Printf.printf "\nAtomic increments (4 procs x 25):\n";
-  (match atomic_increment () with
-  | Some v when Int64.to_int v = 100 -> Printf.printf "  counter = 100  ok\n"
-  | Some v ->
-      incr failures;
-      Printf.printf "  counter = %Ld  VIOLATION\n" v
-  | None ->
-      incr failures;
-      Printf.printf "  no agreed value  VIOLATION\n");
-  if !failures = 0 then Printf.printf "\nall litmus tests passed\n"
-  else begin
-    Printf.printf "\n%d violations\n" !failures;
+  let seeds = ref 16 in
+  let jitter = ref false in
+  let explore = ref false in
+  let mutate = ref false in
+  let out = ref "" in
+  let spec =
+    [
+      ("--seeds", Arg.Set_int seeds, "N  seeded schedules per scenario (default 16)");
+      ("--jitter", Arg.Set jitter, " also run delay-injection schedules");
+      ("--explore", Arg.Set explore, " bounded exhaustive tie-set exploration");
+      ("--mutate", Arg.Set mutate, " mutation harness: seeded protocol bugs must be caught");
+      ("--out", Arg.Set_string out, "FILE  append failing schedules for CI artifacts");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "litmus [options]";
+  let artifact = Buffer.create 256 in
+  let failed = ref false in
+  let record fmt =
+    Printf.ksprintf
+      (fun s ->
+        failed := true;
+        Buffer.add_string artifact (s ^ "\n");
+        print_endline ("  FAIL " ^ s))
+      fmt
+  in
+
+  (* Seed sweep: FIFO default plus N seeded tie-break schedules. *)
+  Printf.printf "== litmus: FIFO + %d seeded schedules per scenario ==\n%!" !seeds;
+  List.iter
+    (fun (sc : Check.Litmus.scenario) ->
+      let fails = Check.Litmus.sweep ~seeds:!seeds [ sc ] in
+      if fails = [] then
+        Printf.printf "  ok   %-18s (%d runs clean)\n%!" sc.Check.Litmus.name (!seeds + 1)
+      else
+        List.iter
+          (fun (name, seed, violations) ->
+            List.iter
+              (fun v -> record "scenario=%s seed=%d %s" name seed v)
+              violations)
+          fails)
+    Check.Litmus.all;
+
+  if !jitter then begin
+    Printf.printf "== litmus: %d jittered (delay-injection) schedules ==\n%!" !seeds;
+    List.iter
+      (fun (sc : Check.Litmus.scenario) ->
+        let fails =
+          Check.Explore.jittered ~n:!seeds (Check.Litmus.as_scenario sc)
+        in
+        if fails = [] then
+          Printf.printf "  ok   %-18s\n%!" sc.Check.Litmus.name
+        else
+          List.iter
+            (fun (f : Check.Explore.failure) ->
+              List.iter
+                (fun v ->
+                  record "scenario=%s schedule=%S %s" sc.Check.Litmus.name
+                    f.Check.Explore.f_schedule v)
+                f.Check.Explore.f_violations)
+            fails)
+      Check.Litmus.all
+  end;
+
+  if !explore then begin
+    Printf.printf "== litmus: bounded exhaustive tie-set exploration ==\n%!";
+    List.iter
+      (fun (sc : Check.Litmus.scenario) ->
+        let fails, runs, exhausted =
+          Check.Explore.exhaustive ~max_runs:100 ~max_depth:6
+            (Check.Litmus.as_scenario sc)
+        in
+        if fails = [] then
+          Printf.printf "  ok   %-18s (%d runs%s)\n%!" sc.Check.Litmus.name runs
+            (if exhausted then ", exhausted" else ", truncated")
+        else
+          List.iter
+            (fun (f : Check.Explore.failure) ->
+              List.iter
+                (fun v ->
+                  record "scenario=%s schedule=%S %s" sc.Check.Litmus.name
+                    f.Check.Explore.f_schedule v)
+                f.Check.Explore.f_violations)
+            fails)
+      Check.Litmus.all
+  end;
+
+  if !mutate then begin
+    Printf.printf "== litmus: mutation harness (%d seeds per bug) ==\n%!" !seeds;
+    let reports = Check.Mutation.hunt ~seeds:!seeds () in
+    List.iter
+      (fun (r : Check.Mutation.report) ->
+        Format.printf "  %a@." Check.Mutation.pp_report r;
+        if r.Check.Mutation.m_caught = None then
+          record "mutation=%s missed after %d runs" r.Check.Mutation.m_label
+            r.Check.Mutation.m_runs)
+      reports
+  end;
+
+  if !out <> "" && Buffer.length artifact > 0 then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 !out in
+    Buffer.output_buffer oc artifact;
+    close_out oc
+  end;
+  if !failed then begin
+    print_endline "LITMUS: FAILED";
     exit 1
   end
+  else print_endline "LITMUS: all checks passed"

@@ -1,0 +1,102 @@
+(** Schedule-exploration drivers.
+
+    A {e scenario} here is a function from a {!Sim.Engine.schedule} to
+    the list of violations that run produced (empty = clean).  It must
+    build a fresh cluster on every call, so runs are independent and —
+    given the same schedule — bit-identical, which is what lets a
+    violating seed from CI be replayed locally. *)
+
+type failure = {
+  f_schedule : string;  (** how to reproduce: the schedule, printably *)
+  f_seed : int option;  (** the seed, for seeded/jittered schedules *)
+  f_violations : string list;
+}
+
+(** [seeds ?base ~n scenario] — rerun under [Seeded base .. base+n-1]. *)
+let seeds ?(base = 1) ~n scenario =
+  List.concat_map
+    (fun k ->
+      let seed = base + k in
+      match scenario (Sim.Engine.Seeded seed) with
+      | [] -> []
+      | violations ->
+          [
+            {
+              f_schedule = Printf.sprintf "Seeded %d" seed;
+              f_seed = Some seed;
+              f_violations = violations;
+            };
+          ])
+    (List.init n (fun i -> i))
+
+(** [jittered ?base ?prob ?max_delay ~n scenario] — seeded tie breaking
+    plus bounded random message/event delays. *)
+let jittered ?(base = 1) ?(prob = 0.25) ?(max_delay = 2.0e-6) ~n scenario =
+  List.concat_map
+    (fun k ->
+      let seed = base + k in
+      match scenario (Sim.Engine.Jittered { seed; prob; max_delay }) with
+      | [] -> []
+      | violations ->
+          [
+            {
+              f_schedule =
+                Printf.sprintf "Jittered { seed = %d; prob = %g; max_delay = %g }"
+                  seed prob max_delay;
+              f_seed = Some seed;
+              f_violations = violations;
+            };
+          ])
+    (List.init n (fun i -> i))
+
+(** [exhaustive ?max_runs ?max_depth scenario] — bounded DFS over
+    tie-break decision vectors.  The first [max_depth] tie-sets of a run
+    are choice points enumerated lexicographically (later ties take
+    index 0), replayed from scratch each run; [(failures, runs,
+    exhausted)] says whether the bounded tree was fully covered within
+    [max_runs]. *)
+let exhaustive ?(max_runs = 200) ?(max_depth = 8) scenario =
+  let failures = ref [] in
+  let runs = ref 0 in
+  let prefix = ref (Some []) in
+  while !prefix <> None && !runs < max_runs do
+    let p = Option.get !prefix in
+    incr runs;
+    let sizes = Hashtbl.create 32 in
+    let pos = ref 0 in
+    let choose n =
+      let i = !pos in
+      incr pos;
+      if i < max_depth then Hashtbl.replace sizes i n;
+      match List.nth_opt p i with Some d -> min d (n - 1) | None -> 0
+    in
+    (match scenario (Sim.Engine.Choose choose) with
+    | [] -> ()
+    | violations ->
+        failures :=
+          {
+            f_schedule =
+              Printf.sprintf "Choose [%s]"
+                (String.concat ";" (List.map string_of_int p));
+            f_seed = None;
+            f_violations = violations;
+          }
+          :: !failures);
+    (* Lexicographic successor of the decision vector actually used. *)
+    let depth = min !pos max_depth in
+    let d_at i = Option.value (List.nth_opt p i) ~default:0 in
+    let size_at i = Option.value (Hashtbl.find_opt sizes i) ~default:1 in
+    let rec next i =
+      if i < 0 then None
+      else if d_at i + 1 < size_at i then
+        Some (List.init (i + 1) (fun j -> if j = i then d_at j + 1 else d_at j))
+      else next (i - 1)
+    in
+    prefix := next (depth - 1)
+  done;
+  (List.rev !failures, !runs, !prefix = None)
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v 2>%s:@ %a@]" f.f_schedule
+    (Format.pp_print_list Format.pp_print_string)
+    f.f_violations

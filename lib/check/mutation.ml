@@ -1,0 +1,72 @@
+(** Mutation harness: seed each deliberate protocol bug
+    ({!Protocol.Config.mutation}) and prove the checking layers catch
+    it.  A mutation counts as caught only when a run both {e fired} the
+    bug (the mutated code path executed) and reported a violation —
+    a violation in a run where the bug never triggered would be a false
+    alarm, not a catch. *)
+
+type report = {
+  m_mutation : Protocol.Config.mutation;
+  m_label : string;
+  m_caught : (string * int) option;
+      (** [(scenario, seed)] of the first catching run; seed 0 = FIFO *)
+  m_fired : bool;  (** the mutated path executed at least once *)
+  m_runs : int;  (** runs spent before the catch (or giving up) *)
+}
+
+let all_mutations =
+  [
+    (Protocol.Config.Skip_invalidate, "skip-invalidate");
+    (Protocol.Config.Skip_inval_ack, "skip-inval-ack");
+    (Protocol.Config.Keep_private_on_recall, "keep-private-on-recall");
+    (Protocol.Config.Skip_one_invalidation, "skip-one-invalidation");
+  ]
+
+(** [hunt ?seeds ?scenarios ()] — for each mutation, try the FIFO
+    schedule then seeds [1..seeds] across all scenarios until a run
+    catches it. *)
+let hunt ?(seeds = 64) ?(scenarios = Litmus.all) () =
+  List.map
+    (fun (mutation, label) ->
+      let caught = ref None in
+      let fired = ref false in
+      let runs = ref 0 in
+      let schedules seed =
+        if seed = 0 then Sim.Engine.Fifo else Sim.Engine.Seeded seed
+      in
+      (try
+         for seed = 0 to seeds do
+           List.iter
+             (fun (sc : Litmus.scenario) ->
+               incr runs;
+               let o = Litmus.run ~mutation sc (schedules seed) in
+               if o.Litmus.mutation_fired > 0 then begin
+                 fired := true;
+                 if o.Litmus.violations <> [] then begin
+                   caught := Some (sc.Litmus.name, seed);
+                   raise Exit
+                 end
+               end)
+             scenarios
+         done
+       with Exit -> ());
+      {
+        m_mutation = mutation;
+        m_label = label;
+        m_caught = !caught;
+        m_fired = !fired;
+        m_runs = !runs;
+      })
+    all_mutations
+
+let all_caught reports = List.for_all (fun r -> r.m_caught <> None) reports
+
+let pp_report ppf r =
+  match r.m_caught with
+  | Some (scenario, seed) ->
+      Format.fprintf ppf "%-24s caught by %s at seed %d (%d run%s)" r.m_label
+        scenario seed r.m_runs
+        (if r.m_runs = 1 then "" else "s")
+  | None ->
+      Format.fprintf ppf "%-24s MISSED after %d runs (bug %s)" r.m_label r.m_runs
+        (if r.m_fired then "fired but was never detected" else "never even fired")

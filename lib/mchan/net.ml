@@ -46,9 +46,10 @@ type t = {
           raw perfectly-reliable path with zero transport overhead *)
 }
 
-let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config) config =
+let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config)
+    ?(schedule = Sim.Engine.Fifo) config =
   if config.nodes <= 0 || config.cpus_per_node <= 0 then invalid_arg "Net.create";
-  let engine = Sim.Engine.create () in
+  let engine = Sim.Engine.create ~schedule () in
   let next_pid = ref 0 in
   let cpus =
     Array.init config.nodes (fun node ->

@@ -45,6 +45,18 @@ let default_costs =
     lock_acquire_queue = 1.0e-6;
   }
 
+(** Deliberately seeded protocol bugs, consumed by the mutation harness
+    in [lib/check] to prove the invariant checker actually fails.  Each
+    one disables a step the protocol needs for coherence; [None] is the
+    correct protocol. *)
+type mutation =
+  | Skip_invalidate  (** acknowledge an invalidation without applying it *)
+  | Skip_inval_ack  (** apply an invalidation but never acknowledge it *)
+  | Keep_private_on_recall
+      (** leave members' private state tables untouched by a recall *)
+  | Skip_one_invalidation
+      (** the home forgets the first sharer when collecting invalidations *)
+
 type t = {
   variant : variant;
   model : model;
@@ -55,6 +67,9 @@ type t = {
   costs : costs;
   direct_downgrade : bool;  (** Section 4.3.4 optimisation *)
   max_outstanding_stores : int;  (** RC store buffer depth before stalling *)
+  check_invariants : bool;
+      (** cross-check directory vs state tables after every message *)
+  mutation : mutation option;  (** seeded protocol bug, [None] = correct *)
 }
 
 let default =
@@ -68,6 +83,8 @@ let default =
     costs = default_costs;
     direct_downgrade = true;
     max_outstanding_stores = 16;
+    check_invariants = false;
+    mutation = None;
   }
 
 let n_lines t = (t.shared_size + t.line_size - 1) / t.line_size

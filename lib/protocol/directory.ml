@@ -48,6 +48,13 @@ let entry t block =
       Hashtbl.replace t.entries block e;
       e
 
+(** [find t block] is the entry for [block], without allocating one —
+    the invariant checker must be able to look without perturbing. *)
+let find t block = Hashtbl.find_opt t.entries block
+
+(** [iter_entries f t] applies [f] to every allocated entry. *)
+let iter_entries f t = Hashtbl.iter (fun _ e -> f e) t.entries
+
 let is_sharer e d = List.mem d e.sharers
 
 let add_sharer e d = if not (is_sharer e d) then e.sharers <- d :: e.sharers

@@ -115,6 +115,8 @@ and t = {
   block_len : int array;  (** first line -> block length in lines *)
   home_override : int array;  (** per line: forced home domain, or -1 *)
   mutable initialized : bool;
+  mutable mutation_fires : int;  (** times the seeded bug was exercised *)
+  mutable invariant_checks : int;  (** per-message invariant sweeps run *)
 }
 
 (* --- state table helpers --- *)
@@ -178,6 +180,8 @@ let create ~cfg ~net =
       block_len = Array.make (Config.n_lines cfg) 1;
       home_override = Array.make (Config.n_lines cfg) (-1);
       initialized = false;
+      mutation_fires = 0;
+      invariant_checks = 0;
     }
   in
   (match cfg.Config.variant with
@@ -414,33 +418,45 @@ let invalidate_block_data t d b =
     done
   else List.iter (fun m -> m.deferred_flags <- b :: m.deferred_flags) deferring
 
-(* Invalidate (shared -> invalid) at a domain; acks back to the home. *)
+(* Invalidate (shared -> invalid) at a domain; acks back to the home.
+   Two of the seeded mutations live here: [Skip_invalidate] acknowledges
+   without touching any state (a stale copy survives), [Skip_inval_ack]
+   invalidates but never acknowledges (the home's transaction hangs). *)
 let apply_invalidate t d ~cur ~home_domain b =
   dbg b "[%.9f] INVAL at dom%d blk=%d" !cur d.dom_id b;
-  invalidate_block_data t d b;
-  set_block_state_shared d t b Ptypes.Invalid;
-  List.iter (fun m -> set_block_state_private ~why:"inval" m t b Ptypes.Invalid) d.members;
+  let skip_apply = t.cfg.Config.mutation = Some Config.Skip_invalidate in
+  let skip_ack = t.cfg.Config.mutation = Some Config.Skip_inval_ack in
+  if skip_apply || skip_ack then t.mutation_fires <- t.mutation_fires + 1;
+  if not skip_apply then begin
+    invalidate_block_data t d b;
+    set_block_state_shared d t b Ptypes.Invalid;
+    List.iter (fun m -> set_block_state_private ~why:"inval" m t b Ptypes.Invalid) d.members
+  end;
   cur := !cur +. t.cfg.Config.costs.Config.inval_apply;
-  send_to_domain t ~cur ~from_node:d.dom_node home_domain
-    (Ptypes.Inval_ack { block = b; from_domain = d.dom_id })
+  if not skip_ack then
+    send_to_domain t ~cur ~from_node:d.dom_node home_domain
+      (Ptypes.Inval_ack { block = b; from_domain = d.dom_id })
 
 (* Complete a recall once all private-table downgrades are done. *)
 let complete_recall t d ~cur b ~to_shared ~home_domain =
   dbg b "[%.9f] RECALL-DONE at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
+  let keep_private = t.cfg.Config.mutation = Some Config.Keep_private_on_recall in
   let data = Memimg.read_block d.img ~line:b ~lines:(lines_of_block t b) in
   if to_shared then begin
     set_block_state_shared d t b Ptypes.Shared;
-    List.iter
-      (fun m ->
-        for k = b to b + lines_of_block t b - 1 do
-          if tab_get m.private_tab k = Ptypes.Exclusive then tab_set m.private_tab k Ptypes.Shared
-        done)
-      d.members
+    if not keep_private then
+      List.iter
+        (fun m ->
+          for k = b to b + lines_of_block t b - 1 do
+            if tab_get m.private_tab k = Ptypes.Exclusive then tab_set m.private_tab k Ptypes.Shared
+          done)
+        d.members
   end
   else begin
     invalidate_block_data t d b;
     set_block_state_shared d t b Ptypes.Invalid;
-    List.iter (fun m -> set_block_state_private ~why:"recall-inval" m t b Ptypes.Invalid) d.members
+    if not keep_private then
+      List.iter (fun m -> set_block_state_private ~why:"recall-inval" m t b Ptypes.Invalid) d.members
   end;
   send_to_domain t ~cur ~from_node:d.dom_node home_domain
     (Ptypes.Writeback { block = b; data; from_domain = d.dom_id })
@@ -453,6 +469,14 @@ let apply_recall t d ~cur ~servicer b ~to_shared ~home_domain =
   dbg b "[%.9f] RECALL at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
   (* Block intra-node exclusive grants while the recall is in flight. *)
   set_block_state_shared d t b Ptypes.Pending;
+  if t.cfg.Config.mutation = Some Config.Keep_private_on_recall then begin
+    (* Seeded bug: skip every private-state-table downgrade — the
+       members' stale Exclusive/Shared entries survive the recall
+       (complete_recall is gated on the same mutation). *)
+    t.mutation_fires <- t.mutation_fires + 1;
+    complete_recall t d ~cur b ~to_shared ~home_domain
+  end
+  else
   let needs_downgrade m =
     m.pid <> servicer
     && (let rec any k =
@@ -601,6 +625,15 @@ let rec handle_request t home ~cur msg =
                     in
                     let others =
                       List.filter (fun s -> s <> from_domain) entry.Directory.sharers
+                    in
+                    let others =
+                      (* Seeded bug: the home forgets one sharer, which
+                         keeps a stale Shared copy past the grant. *)
+                      match t.cfg.Config.mutation with
+                      | Some Config.Skip_one_invalidation when others <> [] ->
+                          t.mutation_fires <- t.mutation_fires + 1;
+                          List.tl others
+                      | _ -> others
                     in
                     let awaiting = ref 0 in
                     List.iter
@@ -846,6 +879,232 @@ let handle_domain_msg t d ~cur ~servicer msg =
   | Ptypes.Data_reply _ | Ptypes.Ack_exclusive _ | Ptypes.Sc_result _ | Ptypes.Downgrade _ ->
       invalid_arg "handle_domain_msg: process-addressed message in domain mailbox"
 
+(* --- coherence invariant checker (the probe of lib/check) ---
+
+   Three invariant families, cross-checking the directory against every
+   domain's shared state table and every process's private state table:
+
+   1. single writer — at most one domain holds a block Exclusive, and
+      while one does every other domain is Invalid or Pending;
+   2. directory agreement — only while the entry is not busy (a
+      transaction in flight legally leaves transient disagreement): an
+      owner implies an empty sharer set and an Exclusive/Pending holder,
+      no owner means every Shared holder is in the sharer set, and a
+      block with no entry is still in its pristine home-only state;
+   3. table monotonicity — a private-table state never exceeds its
+      domain's shared-table state (private E needs domain E/P, private S
+      needs domain S/E/P), and all lines of a block agree.
+
+   [check_block] is cheap (O(domains x members)) and is run after every
+   protocol message, scoped to that message's block, when
+   [Config.check_invariants] is set; [check_quiescent] sweeps the whole
+   engine and is meant for the end of a run. *)
+
+exception
+  Coherence_violation of { block : int; time : float; violations : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Coherence_violation { block; time; violations } ->
+        Some
+          (Printf.sprintf "Protocol.Engine.Coherence_violation (block %d at %.9g: %s)"
+             block time
+             (String.concat "; " violations))
+    | _ -> None)
+
+let check_block t b =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let last = b + lines_of_block t b - 1 in
+  let dom_state d = tab_get d.shared_tab b in
+  let domains = t.domains in
+  (* family 3: block-uniform lines, private vs shared monotonicity *)
+  List.iter
+    (fun d ->
+      let ds = dom_state d in
+      for k = b + 1 to last do
+        if tab_get d.shared_tab k <> ds then
+          err "dom%d: lines of block %d disagree (%c at %d, %c at %d)" d.dom_id b
+            (st_char ds) b
+            (st_char (tab_get d.shared_tab k))
+            k
+      done;
+      List.iter
+        (fun m ->
+          let ps = tab_get m.private_tab b in
+          for k = b + 1 to last do
+            if tab_get m.private_tab k <> ps then
+              err "pid%d: private lines of block %d disagree" m.pid b
+          done;
+          match (ps, ds) with
+          | Ptypes.Exclusive, (Ptypes.Invalid | Ptypes.Shared) ->
+              err "pid%d private E but dom%d is %c" m.pid d.dom_id (st_char ds)
+          | Ptypes.Shared, Ptypes.Invalid ->
+              err "pid%d private S but dom%d is I" m.pid d.dom_id
+          | _ -> ())
+        d.members)
+    domains;
+  (* family 1: single writer *)
+  let excl = List.filter (fun d -> dom_state d = Ptypes.Exclusive) domains in
+  (match excl with
+  | [] | [ _ ] -> ()
+  | ds ->
+      err "multiple Exclusive holders: [%s]"
+        (String.concat "," (List.map (fun d -> string_of_int d.dom_id) ds)));
+  (match excl with
+  | [ e ] ->
+      List.iter
+        (fun d ->
+          if d != e && dom_state d = Ptypes.Shared then
+            err "dom%d Shared while dom%d Exclusive" d.dom_id e.dom_id)
+        domains
+  | _ -> ());
+  (* family 2: directory agreement, only at a quiet entry *)
+  let home = domain_by_id t (home_domain_of_block t b) in
+  (match Directory.find home.dir b with
+  | None ->
+      (* Untouched block: only the home may hold it (its initial copy). *)
+      List.iter
+        (fun d ->
+          match dom_state d with
+          | Ptypes.Invalid -> ()
+          | s when d.dom_id = home.dom_id ->
+              if s <> Ptypes.Shared then
+                err "no directory entry but home dom%d is %c" d.dom_id (st_char s)
+          | s -> err "no directory entry but dom%d is %c" d.dom_id (st_char s))
+        domains
+  | Some entry -> (
+      match entry.Directory.busy with
+      | Some _ -> () (* transaction in flight: transients are legal *)
+      | None -> (
+          match entry.Directory.owner with
+          | Some o ->
+              if entry.Directory.sharers <> [] then
+                err "owner dom%d with non-empty sharer set [%s]" o
+                  (String.concat "," (List.map string_of_int entry.Directory.sharers));
+              (match dom_state (domain_by_id t o) with
+              | Ptypes.Exclusive | Ptypes.Pending -> ()
+              | (Ptypes.Shared | Ptypes.Invalid)
+                when List.exists
+                       (fun m -> Hashtbl.mem m.outstanding b)
+                       (domain_by_id t o).members ->
+                  (* Legal transient: the grant is in flight (the owner's
+                     miss on this block is still outstanding) while the
+                     Pending the owner set at issue has been overwritten —
+                     to S by a concurrent sharing writeback at the home, or
+                     to I by an invalidation that beat the grant.  Applying
+                     the granted reply moves the domain to E. *)
+                  ()
+              | s -> err "directory owner dom%d holds %c" o (st_char s));
+              List.iter
+                (fun d ->
+                  if d.dom_id <> o then
+                    match dom_state d with
+                    | Ptypes.Shared | Ptypes.Exclusive ->
+                        err "dom%d holds %c but dom%d owns the block" d.dom_id
+                          (st_char (dom_state d))
+                          o
+                    | _ -> ())
+                domains
+          | None ->
+              List.iter
+                (fun d ->
+                  match dom_state d with
+                  | Ptypes.Exclusive ->
+                      err "dom%d Exclusive but the directory has no owner" d.dom_id
+                  | Ptypes.Shared ->
+                      if not (Directory.is_sharer entry d.dom_id) then
+                        err "dom%d Shared but not in the sharer set [%s]" d.dom_id
+                          (String.concat ","
+                             (List.map string_of_int entry.Directory.sharers))
+                  | _ -> ())
+                domains)));
+  List.rev !errs
+
+let msg_block = function
+  | Ptypes.Request { block; _ }
+  | Ptypes.Data_reply { block; _ }
+  | Ptypes.Ack_exclusive { block; _ }
+  | Ptypes.Sc_result { block; _ }
+  | Ptypes.Invalidate { block; _ }
+  | Ptypes.Recall { block; _ }
+  | Ptypes.Writeback { block; _ }
+  | Ptypes.Inval_ack { block; _ }
+  | Ptypes.Downgrade { block; _ }
+  | Ptypes.Downgrade_ack { block; _ } ->
+      block
+
+(* Run after a message is applied, scoped to that message's block. *)
+let check_msg t msg =
+  t.invariant_checks <- t.invariant_checks + 1;
+  let b = msg_block msg in
+  match check_block t b with
+  | [] -> ()
+  | violations ->
+      raise
+        (Coherence_violation
+           { block = b; time = Sim.Engine.now (Mchan.Net.engine t.net); violations })
+
+(** [check_quiescent t] — full-state sweep for an engine that should be
+    at rest: no transaction, message, miss or Pending line may remain,
+    and every block must satisfy [check_block].  Returns the violations
+    (empty = coherent). *)
+let check_quiescent t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (fun d ->
+      if not (Mchan.Mailbox.is_empty d.dom_mailbox) then
+        err "dom%d: %d unserviced domain messages" d.dom_id
+          (Mchan.Mailbox.length d.dom_mailbox);
+      if d.parked_dom <> [] then
+        err "dom%d: %d parked domain messages" d.dom_id (List.length d.parked_dom);
+      if Hashtbl.length d.pending_local > 0 then
+        err "dom%d: %d incomplete local recalls" d.dom_id (Hashtbl.length d.pending_local);
+      Directory.iter_entries
+        (fun e ->
+          (match e.Directory.busy with
+          | Some txn ->
+              err "dom%d: block %d busy (%s, awaiting %d)" d.dom_id e.Directory.block
+                (Format.asprintf "%a" Ptypes.pp_kind txn.Directory.t_kind)
+                txn.Directory.t_awaiting
+          | None -> ());
+          if not (Queue.is_empty e.Directory.deferred) then
+            err "dom%d: block %d has %d deferred requests" d.dom_id e.Directory.block
+              (Queue.length e.Directory.deferred))
+        d.dir;
+      List.iter
+        (fun m ->
+          if not (Mchan.Mailbox.is_empty m.mailbox) then
+            err "pid%d: %d unserviced replies" m.pid (Mchan.Mailbox.length m.mailbox);
+          if m.parked <> [] then
+            err "pid%d: %d parked replies" m.pid (List.length m.parked);
+          Hashtbl.iter
+            (fun b _ -> err "pid%d: outstanding miss on block %d" m.pid b)
+            m.outstanding;
+          if m.n_outstanding_stores <> 0 then
+            err "pid%d: %d outstanding stores" m.pid m.n_outstanding_stores)
+        d.members)
+    t.domains;
+  let n_lines = Config.n_lines t.cfg in
+  let line = ref 0 in
+  while !line < n_lines do
+    let b = t.block_start.(!line) in
+    List.iter
+      (fun d ->
+        if tab_get d.shared_tab b = Ptypes.Pending then
+          err "dom%d: block %d stuck Pending" d.dom_id b;
+        List.iter
+          (fun m ->
+            if tab_get m.private_tab b = Ptypes.Pending then
+              err "pid%d: block %d stuck Pending (private)" m.pid b)
+          d.members)
+      t.domains;
+    (match check_block t b with [] -> () | es -> errs := List.rev_append es !errs);
+    line := b + t.block_len.(b)
+  done;
+  List.rev !errs
+
 (** [service pcb] is the poll hook: drains this process's own mailbox
     (replies may only be handled by the requester — the limitation noted
     in Section 6.5) and then the domain mailbox, which any local process
@@ -859,12 +1118,14 @@ let service pcb =
   let apply_own msg =
     pcb.stats.messages_handled <- pcb.stats.messages_handled + 1;
     consume_seq d msg;
-    apply_reply t pcb ~cur msg
+    apply_reply t pcb ~cur msg;
+    if t.cfg.Config.check_invariants then check_msg t msg
   in
   let apply_dom msg =
     pcb.stats.messages_handled <- pcb.stats.messages_handled + 1;
     consume_seq d msg;
-    handle_domain_msg t d ~cur ~servicer:pcb.pid msg
+    handle_domain_msg t d ~cur ~servicer:pcb.pid msg;
+    if t.cfg.Config.check_invariants then check_msg t msg
   in
   let progress = ref true in
   while !progress do
@@ -1331,3 +1592,9 @@ let word_is_flag pcb addr = Memimg.word_is_flag pcb.dom.img ~flag32:pcb.eng.cfg.
 let stats pcb = pcb.stats
 let config t = t.cfg
 let net t = t.net
+
+(** Times the seeded [Config.mutation] bug was exercised. *)
+let mutation_fires t = t.mutation_fires
+
+(** Per-message invariant sweeps run so far (0 unless [check_invariants]). *)
+let invariant_checks t = t.invariant_checks

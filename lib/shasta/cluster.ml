@@ -24,7 +24,10 @@ type t = {
 }
 
 let create cfg =
-  let net = Mchan.Net.create ~plan:cfg.Config.fault_plan cfg.Config.net in
+  let net =
+    Mchan.Net.create ~plan:cfg.Config.fault_plan ~schedule:cfg.Config.schedule
+      cfg.Config.net
+  in
   let peng = Protocol.Engine.create ~cfg:cfg.Config.protocol ~net in
   let sync = Sync.create ~net ~costs:cfg.Config.protocol.Protocol.Config.costs in
   {

@@ -23,6 +23,9 @@ type t = {
   fault_plan : Fault.Plan.t;
       (** injected network/node faults; the empty plan keeps the raw
           perfectly-reliable channel *)
+  schedule : Sim.Engine.schedule;
+      (** event tie-break policy; [Fifo] is the deterministic default,
+          the others drive the schedule explorer of [lib/check] *)
 }
 
 let default =
@@ -34,6 +37,7 @@ let default =
     cpu_hz = Sim.Units.default_cpu_hz;
     private_mem_size = 1 lsl 20;
     fault_plan = Fault.Plan.empty;
+    schedule = Sim.Engine.Fifo;
   }
 
 (** [uniprocessor] — one processor, checks off: the "standard

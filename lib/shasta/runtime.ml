@@ -14,6 +14,18 @@
 
 module E = Protocol.Engine
 
+(** One traced shared-memory access, as observed by the application:
+    loads carry the value returned, stores the value written.  Reported
+    through [on_access] for the trace oracle in [lib/check]. *)
+type access = {
+  acc_pid : int;
+  acc_time : float;
+  acc_addr : int;
+  acc_width : Alpha.Insn.width;
+  acc_store : bool;
+  acc_value : int64;
+}
+
 type t = {
   proc : Sim.Proc.t;
   pcb : E.pcb;
@@ -25,6 +37,9 @@ type t = {
   mutable acc_cycles : int;
   mutable blocked_time : float;
   mutable accesses : int;  (** shared loads+stores issued in API mode *)
+  mutable on_access : (access -> unit) option;
+      (** trace hook over API-mode shared accesses (incl. LL/SC);
+          [None] (the default) costs nothing *)
 }
 
 let flush_threshold = 2048
@@ -68,6 +83,7 @@ let create ~cfg ~peng ~sync (proc : Sim.Proc.t) =
       acc_cycles = 0;
       blocked_time = 0.0;
       accesses = 0;
+      on_access = None;
     }
   in
   let node = proc.Sim.Proc.cpu.Sim.Proc.node_id in
@@ -76,6 +92,20 @@ let create ~cfg ~peng ~sync (proc : Sim.Proc.t) =
 
 let pid h = h.proc.Sim.Proc.pid
 let node h = h.proc.Sim.Proc.cpu.Sim.Proc.node_id
+
+let trace_access h ~store addr w v =
+  match h.on_access with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          acc_pid = pid h;
+          acc_time = Sim.Engine.now (Mchan.Net.engine (E.net h.peng));
+          acc_addr = addr;
+          acc_width = w;
+          acc_store = store;
+          acc_value = v;
+        }
 let is_shared h addr = Protocol.Config.is_shared h.cfg.Config.protocol addr
 
 (* --- private memory --- *)
@@ -105,9 +135,14 @@ let load h addr w =
       charge_cycles h
         (h.cfg.Config.checks.Config.access_cycles + h.cfg.Config.checks.Config.load_check_cycles)
     else charge_cycles h h.cfg.Config.checks.Config.access_cycles;
-    let v = E.raw_read h.pcb addr w in
-    if v = Config.flag_value h.cfg w then in_protocol h (fun () -> E.load_miss h.pcb addr w)
-    else v
+    let v0 = E.raw_read h.pcb addr w in
+    let v =
+      if v0 = Config.flag_value h.cfg w then
+        in_protocol h (fun () -> E.load_miss h.pcb addr w)
+      else v0
+    in
+    trace_access h ~store:false addr w v;
+    v
   end
 
 (** [store h addr w v] — a checked shared store. *)
@@ -126,7 +161,8 @@ let store h addr w v =
     | Protocol.Ptypes.Exclusive, _ -> ()
     | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
         in_protocol h (fun () -> E.store_miss h.pcb addr));
-    E.raw_write h.pcb addr w v
+    E.raw_write h.pcb addr w v;
+    trace_access h ~store:true addr w v
   end
 
 (** [load_batched h addr w] — a load whose check was covered by a
@@ -138,9 +174,14 @@ let load_batched h addr w =
   charge_cycles h (h.cfg.Config.checks.Config.access_cycles + if h.cfg.Config.checks_enabled then 1 else 0);
   if not (is_shared h addr) then private_read h addr w
   else begin
-    let v = E.raw_read h.pcb addr w in
-    if v = Config.flag_value h.cfg w then in_protocol h (fun () -> E.load_miss h.pcb addr w)
-    else v
+    let v0 = E.raw_read h.pcb addr w in
+    let v =
+      if v0 = Config.flag_value h.cfg w then
+        in_protocol h (fun () -> E.load_miss h.pcb addr w)
+      else v0
+    in
+    trace_access h ~store:false addr w v;
+    v
   end
 
 (** [store_batched h addr w v] — a store whose check was covered by a
@@ -154,7 +195,8 @@ let store_batched h addr w v =
     | Protocol.Ptypes.Exclusive, _ -> ()
     | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
         in_protocol h (fun () -> E.store_miss h.pcb addr));
-    E.raw_write h.pcb addr w v
+    E.raw_write h.pcb addr w v;
+    trace_access h ~store:true addr w v
   end
 
 let load_int h addr = Int64.to_int (load h addr Alpha.Insn.W64)
@@ -243,6 +285,7 @@ let atomic_add h addr delta =
     charge_cycles h (3 + 2) (* ll_check + ll *);
     in_protocol h (fun () -> E.ll_ensure h.pcb addr);
     let v = E.raw_ll h.pcb addr Alpha.Insn.W64 in
+    trace_access h ~store:false addr Alpha.Insn.W64 v;
     let v' = Int64.add v (Int64.of_int delta) in
     charge_cycles h (4 + 2) (* sc_check + sc *);
     let ok =
@@ -250,7 +293,11 @@ let atomic_add h addr delta =
       | Alpha.Runtime.Run_in_hardware -> E.raw_sc h.pcb addr Alpha.Insn.W64 v'
       | Alpha.Runtime.Handled ok -> ok
     in
-    if ok then Int64.to_int v else attempt ()
+    if ok then begin
+      trace_access h ~store:true addr Alpha.Insn.W64 v';
+      Int64.to_int v
+    end
+    else attempt ()
   in
   attempt ()
 
@@ -269,6 +316,7 @@ let sm_lock ?(prefetch = false) h addr =
         charge_cycles h (3 + 2);
         in_protocol h (fun () -> E.ll_ensure h.pcb addr);
         let v = E.raw_ll h.pcb addr Alpha.Insn.W32 in
+        trace_access h ~store:false addr Alpha.Insn.W32 v;
         if v <> 0L then begin
           (* Lock taken: spin, polling (the loop's inserted poll).  The
              pause backs off to bound the simulator's event rate; the
@@ -286,7 +334,8 @@ let sm_lock ?(prefetch = false) h addr =
             | Alpha.Runtime.Run_in_hardware -> E.raw_sc h.pcb addr Alpha.Insn.W32 1L
             | Alpha.Runtime.Handled ok -> ok
           in
-          if not ok then try_again ()
+          if ok then trace_access h ~store:true addr Alpha.Insn.W32 1L
+          else try_again ()
         end
       in
       try_again ();

@@ -3,16 +3,70 @@
     Events are thunks fired in [(time, insertion-order)] order, so the
     whole simulation is deterministic.  Everything above this module
     (CPUs, processes, the network, the coherence protocol) is expressed
-    as events. *)
+    as events.
+
+    The [schedule] policy chosen at [create] controls how same-time ties
+    are broken.  [Fifo] (the default) fires ties in insertion order and
+    is bit-identical to the historical behaviour; the other policies
+    exist for the model checker in [lib/check], which reruns scenarios
+    under many legal schedules. *)
+
+type schedule =
+  | Fifo  (** insertion order; the historical deterministic default *)
+  | Seeded of int
+      (** every same-time tie-set is permuted by a splitmix64 stream
+          derived from the seed; a given seed is fully reproducible *)
+  | Jittered of { seed : int; prob : float; max_delay : float }
+      (** like [Seeded], plus each [at] independently delays the event
+          by a uniform amount in [0, max_delay] with probability [prob]
+          (delays only — events never fire earlier than requested) *)
+  | Choose of (int -> int)
+      (** [f n] picks which of the [n] currently-tied events fires next
+          (entries are presented in insertion order); used for
+          exhaustive exploration of small tie-sets.  Out-of-range
+          answers fall back to index 0. *)
+
+type sched_state =
+  | S_fifo
+  | S_seeded of Rng.t
+  | S_jittered of { ties : Rng.t; delays : Rng.t; prob : float; max_delay : float }
+  | S_choose of (int -> int)
 
 type t = {
   mutable now : float;
   mutable seq : int;
   events : (unit -> unit) Heap.t;
   mutable fired : int;
+  sched : sched_state;
 }
 
-let create () = { now = 0.0; seq = 0; events = Heap.create (); fired = 0 }
+(** Raised by [at] when asked to schedule an event before [now].  The
+    payload records where the simulation stood so the offending call
+    site can be located from a log alone. *)
+exception
+  Past_event of { requested : float; now : float; fired : int; pending : int }
+
+let () =
+  Printexc.register_printer (function
+    | Past_event { requested; now; fired; pending } ->
+        Some
+          (Printf.sprintf
+             "Sim.Engine.Past_event { requested = %.9g; now = %.9g; fired = \
+              %d; pending = %d }"
+             requested now fired pending)
+    | _ -> None)
+
+let create ?(schedule = Fifo) () =
+  let sched =
+    match schedule with
+    | Fifo -> S_fifo
+    | Seeded seed -> S_seeded (Rng.create seed)
+    | Jittered { seed; prob; max_delay } ->
+        let ties = Rng.create seed in
+        S_jittered { ties; delays = Rng.split ties; prob; max_delay }
+    | Choose f -> S_choose f
+  in
+  { now = 0.0; seq = 0; events = Heap.create (); fired = 0; sched }
 
 let now t = t.now
 
@@ -24,23 +78,75 @@ let pending t = Heap.length t.events
     Requires [time >= now t]. *)
 let at t time f =
   if time < t.now then
-    invalid_arg
-      (Printf.sprintf "Engine.at: time %.9g is in the past (now %.9g)" time t.now);
+    raise
+      (Past_event
+         {
+           requested = time;
+           now = t.now;
+           fired = t.fired;
+           pending = Heap.length t.events;
+         });
+  let time =
+    match t.sched with
+    | S_jittered { delays; prob; max_delay; _ }
+      when prob > 0.0 && Rng.float delays 1.0 < prob ->
+        time +. Rng.float delays max_delay
+    | _ -> time
+  in
   Heap.push t.events ~time ~seq:t.seq f;
   t.seq <- t.seq + 1
 
 (** [after t dt f] schedules [f] to fire [dt] seconds from now. *)
 let after t dt f = at t (t.now +. dt) f
 
-(** [step t] fires the earliest pending event.  Returns [false] when the
-    event heap is empty. *)
+let fire t (e : (unit -> unit) Heap.entry) =
+  t.now <- e.Heap.time;
+  t.fired <- t.fired + 1;
+  e.Heap.value ()
+
+(* Pop every further entry scheduled for exactly [first]'s time; the
+   result (including [first]) is in insertion order because the heap
+   pops ties FIFO. *)
+let pop_tie_set t (first : (unit -> unit) Heap.entry) =
+  let rec go acc =
+    match Heap.peek t.events with
+    | Some e when e.Heap.time = first.Heap.time ->
+        ignore (Heap.pop t.events);
+        go (e :: acc)
+    | _ -> List.rev acc
+  in
+  go [ first ]
+
+(* Fire tie [i], pushing the others back with their original [seq] so a
+   later pop sees them in unchanged relative order. *)
+let fire_choice t ties i =
+  let chosen = List.nth ties i in
+  List.iteri
+    (fun j (e : (unit -> unit) Heap.entry) ->
+      if j <> i then Heap.push t.events ~time:e.Heap.time ~seq:e.Heap.seq e.Heap.value)
+    ties;
+  fire t chosen
+
+(** [step t] fires one pending event — the earliest, with same-time ties
+    broken by the schedule policy.  Returns [false] when the event heap
+    is empty. *)
 let step t =
   match Heap.pop t.events with
   | None -> false
   | Some e ->
-      t.now <- e.Heap.time;
-      t.fired <- t.fired + 1;
-      e.Heap.value ();
+      (match t.sched with
+      | S_fifo -> fire t e
+      | S_seeded rng | S_jittered { ties = rng; _ } -> (
+          match pop_tie_set t e with
+          | [ only ] -> fire t only
+          | ties -> fire_choice t ties (Rng.int rng (List.length ties)))
+      | S_choose f -> (
+          match pop_tie_set t e with
+          | [ only ] -> fire t only
+          | ties ->
+              let n = List.length ties in
+              let i = f n in
+              fire_choice t ties (if i < 0 || i >= n then 0 else i)));
       true
 
 (** [run ?until ?max_events t] fires events until the heap is empty, the

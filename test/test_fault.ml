@@ -109,7 +109,7 @@ let test_stall_recovery () =
 
 (* --- whole-application runs --- *)
 
-let cluster ?(plan = Plan.empty) () =
+let cluster ?(plan = Plan.empty) ?(check_invariants = false) () =
   Shasta.Cluster.create
     {
       Shasta.Config.default with
@@ -117,7 +117,11 @@ let cluster ?(plan = Plan.empty) () =
         { Mchan.Net.default_config with Mchan.Net.nodes = 2; cpus_per_node = 2 };
       fault_plan = plan;
       protocol =
-        { Protocol.Config.default with Protocol.Config.shared_size = 4 * 1024 * 1024 };
+        {
+          Protocol.Config.default with
+          Protocol.Config.shared_size = 4 * 1024 * 1024;
+          check_invariants;
+        };
     }
 
 let run_app ?plan spec ~size =
@@ -191,6 +195,26 @@ let test_faulty_run_deterministic () =
   Alcotest.(check int) "identical retransmit count" retx_a retx_b;
   Alcotest.(check bool) "faults actually fired" true (retx_a > 0)
 
+(* The coherence invariant checker is pure observation: a SPLASH run
+   under injected loss with per-message checking on must report zero
+   violations, still validate, and take the exact same simulated time
+   as the unchecked run. *)
+let test_invariant_checker_under_faults () =
+  let plan () =
+    Plan.create ~seed:31 ~default:{ Plan.no_faults with Plan.drop = 0.05; dup = 0.01 } ()
+  in
+  let t_off, ok_off, _ = run_app ~plan:(plan ()) Apps.Ocean.spec ~size:18 in
+  let cl = cluster ~plan:(plan ()) ~check_invariants:true () in
+  let t_on, ok_on =
+    Apps.Harness.run_spec cl Apps.Ocean.spec ~nprocs:4 ~sync:Apps.Harness.Mp ~size:18 ()
+  in
+  Alcotest.(check bool) "both validate" true (ok_off && ok_on);
+  Alcotest.(check (float 0.0)) "checker does not perturb the simulation" t_off t_on;
+  Alcotest.(check bool) "checks actually ran" true
+    (Protocol.Engine.invariant_checks (Shasta.Cluster.protocol_engine cl) > 0);
+  Alcotest.(check (list string)) "quiescent state is clean" []
+    (Protocol.Engine.check_quiescent (Shasta.Cluster.protocol_engine cl))
+
 (* The transparent LL/SC path must also survive injected faults. *)
 let test_sm_sync_survives_faults () =
   let plan =
@@ -214,5 +238,6 @@ let suite =
     Alcotest.test_case "apps survive faults" `Quick test_apps_survive_faults;
     Alcotest.test_case "empty plan: zero overhead" `Quick test_empty_plan_zero_overhead;
     Alcotest.test_case "faulty runs deterministic" `Quick test_faulty_run_deterministic;
+    Alcotest.test_case "invariant checker under faults" `Quick test_invariant_checker_under_faults;
     Alcotest.test_case "SM sync survives faults" `Quick test_sm_sync_survives_faults;
   ]

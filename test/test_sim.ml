@@ -58,10 +58,78 @@ let test_engine_deadline () =
 
 let test_engine_past_rejected () =
   let eng = Engine.create () in
+  let caught = ref false in
   Engine.at eng 1.0 (fun () ->
-      Alcotest.check_raises "past" (Invalid_argument "Engine.at: time 0.5 is in the past (now 1)")
-        (fun () -> Engine.at eng 0.5 ignore));
-  ignore (Engine.run eng)
+      Engine.at eng 2.0 ignore;
+      try Engine.at eng 0.5 ignore
+      with Engine.Past_event { requested; now; fired; pending } ->
+        caught := true;
+        check_f "requested" 0.5 requested;
+        check_f "now" 1.0 now;
+        Alcotest.(check int) "events fired so far" 1 fired;
+        Alcotest.(check int) "pending events" 1 pending);
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "raised Past_event with provenance" true !caught
+
+(* Six handlers tied at t=1.0; the firing order is the schedule's
+   tie-break permutation. *)
+let firing_order schedule =
+  let eng = Engine.create ~schedule () in
+  let log = ref [] in
+  for i = 0 to 5 do
+    Engine.at eng 1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run eng);
+  List.rev !log
+
+let test_engine_fifo_ties_default () =
+  Alcotest.(check (list int)) "fifo fires in insertion order" [ 0; 1; 2; 3; 4; 5 ]
+    (firing_order Engine.Fifo);
+  Alcotest.(check (list int)) "default schedule is fifo" [ 0; 1; 2; 3; 4; 5 ]
+    (let eng = Engine.create () in
+     let log = ref [] in
+     for i = 0 to 5 do
+       Engine.at eng 1.0 (fun () -> log := i :: !log)
+     done;
+     ignore (Engine.run eng);
+     List.rev !log)
+
+let test_engine_seeded_deterministic () =
+  let a = firing_order (Engine.Seeded 11) in
+  Alcotest.(check (list int)) "same seed, same order" a (firing_order (Engine.Seeded 11));
+  Alcotest.(check (list int)) "a permutation of the tie set" [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare a);
+  Alcotest.(check bool) "some seed deviates from fifo" true
+    (List.exists
+       (fun s -> firing_order (Engine.Seeded s) <> [ 0; 1; 2; 3; 4; 5 ])
+       [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_engine_choose_ties () =
+  Alcotest.(check (list int)) "always-last reverses the tie set" [ 5; 4; 3; 2; 1; 0 ]
+    (firing_order (Engine.Choose (fun n -> n - 1)));
+  Alcotest.(check (list int)) "out-of-range choice falls back to fifo"
+    [ 0; 1; 2; 3; 4; 5 ]
+    (firing_order (Engine.Choose (fun _ -> 99)))
+
+let test_engine_jittered_bounds () =
+  let schedule = Engine.Jittered { seed = 5; prob = 1.0; max_delay = 0.5 } in
+  let times schedule =
+    let eng = Engine.create ~schedule () in
+    let log = ref [] in
+    for _ = 1 to 20 do
+      Engine.at eng 1.0 (fun () -> log := Engine.now eng :: !log)
+    done;
+    ignore (Engine.run eng);
+    List.rev !log
+  in
+  let ts = times schedule in
+  Alcotest.(check int) "all events fired" 20 (List.length ts);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "delayed, never hastened, within max_delay" true
+        (t >= 1.0 && t <= 1.5))
+    ts;
+  Alcotest.(check (list (float 0.0))) "same seed, same jitter" ts (times schedule)
 
 let make_cpu ?(quantum = 0.010) ?(switch_cost = 0.0) eng =
   Proc.make_cpu ~engine:eng ~node_id:0 ~cpu_global_id:0 ~quantum ~switch_cost (ref 0)
@@ -246,6 +314,33 @@ let test_rng_split_independent () =
   let ys = Array.init 50 (fun _ -> Rng.int c 1000) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+(* Per-link fault streams are seeded with exactly this key in
+   Fault.Plan.stream; determinism and pairwise distinctness here keep
+   that derivation honest. *)
+let link_stream_key seed src dst = (seed * 0x1000003) lxor ((src * 0x7F4A7C15) + dst + 1)
+
+let take n rng = Array.init n (fun _ -> Rng.int rng 1_000_000)
+
+let test_rng_keyed_link_streams () =
+  Alcotest.(check bool) "same (seed,src,dst), same stream" true
+    (take 64 (Rng.create (link_stream_key 42 0 1))
+    = take 64 (Rng.create (link_stream_key 42 0 1)));
+  let links = [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ] in
+  let streams =
+    List.map (fun (s, d) -> take 64 (Rng.create (link_stream_key 42 s d))) links
+  in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i < j then
+            Alcotest.(check bool) "distinct links, distinct streams" true (si <> sj))
+        streams)
+    streams;
+  Alcotest.(check bool) "distinct seeds, distinct streams" true
+    (take 64 (Rng.create (link_stream_key 42 0 1))
+    <> take 64 (Rng.create (link_stream_key 43 0 1)))
+
 let test_stats_summary () =
   let s = Stats.summary () in
   List.iter (Stats.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
@@ -274,6 +369,23 @@ let qcheck_heap_sorted =
       let times = drain [] in
       List.sort compare times = times)
 
+(* With times drawn from a tiny set, most pops resolve ties; the heap
+   must agree with a stable sort by time over (time, payload) pairs. *)
+let qcheck_heap_stable_reference =
+  QCheck.Test.make ~name:"heap matches stable sort by time" ~count:200
+    QCheck.(list (pair (int_bound 5) small_nat))
+    (fun entries ->
+      let entries = List.map (fun (t, v) -> (float_of_int t, v)) entries in
+      let h = Heap.create () in
+      List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain ((e.Heap.time, e.Heap.value) :: acc)
+      in
+      drain []
+      = List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) entries)
+
 let qcheck_summary_mean =
   QCheck.Test.make ~name:"summary mean matches direct mean" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
@@ -290,6 +402,10 @@ let suite =
     Alcotest.test_case "engine run" `Quick test_engine_run;
     Alcotest.test_case "engine deadline" `Quick test_engine_deadline;
     Alcotest.test_case "engine rejects past events" `Quick test_engine_past_rejected;
+    Alcotest.test_case "engine fifo ties (default)" `Quick test_engine_fifo_ties_default;
+    Alcotest.test_case "engine seeded tie-break" `Quick test_engine_seeded_deterministic;
+    Alcotest.test_case "engine choose tie-break" `Quick test_engine_choose_ties;
+    Alcotest.test_case "engine jittered delays" `Quick test_engine_jittered_bounds;
     Alcotest.test_case "work advances time" `Quick test_proc_work_advances_time;
     Alcotest.test_case "round robin" `Quick test_proc_round_robin;
     Alcotest.test_case "block/wakeup" `Quick test_proc_block_wakeup;
@@ -303,8 +419,10 @@ let suite =
     Alcotest.test_case "quantum preempts waiting proc" `Quick test_quantum_wait_preemption;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng keyed link streams" `Quick test_rng_keyed_link_streams;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+    QCheck_alcotest.to_alcotest qcheck_heap_stable_reference;
     QCheck_alcotest.to_alcotest qcheck_summary_mean;
   ]
