@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- table1  -- one experiment
 
    Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
-   rewrite_time ablation micro faults *)
+   rewrite_time ablation micro faults checker granularity
+   granularity_smoke *)
 
 let experiments =
   [
@@ -22,6 +23,8 @@ let experiments =
     ("micro", Micro.run_micro);
     ("faults", Faults.run_faults);
     ("checker", Checker.run_checker);
+    ("granularity", Granularity.run_granularity);
+    ("granularity_smoke", Granularity.run_granularity_smoke);
   ]
 
 let () =

@@ -16,8 +16,10 @@ let heap_push_pop =
          let rec drain () = match Sim.Heap.pop h with None -> () | Some _ -> drain () in
          drain ()))
 
+let bench_layout = Protocol.Layout.uniform ~base:0 ~size:65536 ~block:64 ()
+
 let memimg_ops =
-  let img = Protocol.Memimg.create ~base:0 ~size:65536 ~line_size:64 in
+  let img = Protocol.Memimg.create ~layout:bench_layout in
   Test.make ~name:"memory image read+write x64"
     (Staged.stage (fun () ->
          for i = 0 to 63 do
@@ -26,11 +28,25 @@ let memimg_ops =
          done))
 
 let flag_fill =
-  let img = Protocol.Memimg.create ~base:0 ~size:65536 ~line_size:64 in
-  Test.make ~name:"invalid-flag fill x64 lines"
+  let img = Protocol.Memimg.create ~layout:bench_layout in
+  Test.make ~name:"invalid-flag fill x64 blocks"
     (Staged.stage (fun () ->
-         for l = 0 to 63 do
-           Protocol.Memimg.write_flags img ~flag32:0xDEADBEEFl ~line:l
+         for b = 0 to 63 do
+           Protocol.Memimg.write_flags img ~flag32:0xDEADBEEFl ~block:b
+         done))
+
+let layout_lookup =
+  let mixed =
+    Protocol.Layout.create ~base:0 ~size:65536
+      [
+        { Protocol.Layout.rs_name = "fine"; rs_size = 32768; rs_block = 64 };
+        { Protocol.Layout.rs_name = "bulk"; rs_size = 32768; rs_block = 512 };
+      ]
+  in
+  Test.make ~name:"layout: block_of_addr x64"
+    (Staged.stage (fun () ->
+         for i = 0 to 63 do
+           ignore (Protocol.Layout.block_of_addr mixed (i * 1021))
          done))
 
 let interp_loop =
@@ -60,7 +76,7 @@ let rng_stream =
 
 let run_micro () =
   let tests =
-    [ heap_push_pop; memimg_ops; flag_fill; interp_loop; rewriter; rng_stream ]
+    [ heap_push_pop; memimg_ops; flag_fill; layout_lookup; interp_loop; rewriter; rng_stream ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

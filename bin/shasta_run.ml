@@ -17,6 +17,7 @@ let () =
   let line = ref 64 in
   let stats = ref false in
   let faults = ref "" in
+  let granularity = ref "" in
   let spec_list =
     String.concat ", " (List.map (fun s -> s.Apps.Harness.name) Apps.Registry.all)
   in
@@ -36,11 +37,19 @@ let () =
       ( "--faults",
         Arg.Set_string faults,
         " fault plan, e.g. \"seed=42,drop=0.05,delay=0.1:2e-5,stall=1@0.001:0.0005\"" );
+      ( "--granularity",
+        Arg.Set_string granularity,
+        " coherence granularity: " ^ Protocol.Layout.spec_help );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_run [options]";
   let spec = Apps.Registry.find !app in
   let plan = if !faults = "" then Fault.Plan.empty else Fault.Plan.of_spec !faults in
+  let shared_size = 8 * 1024 * 1024 in
+  let regions =
+    if !granularity = "" then []
+    else Protocol.Layout.specs_of_spec ~size:shared_size !granularity
+  in
   let cfg =
     {
       Shasta.Config.default with
@@ -55,7 +64,8 @@ let () =
             (match !variant with "base" -> Protocol.Config.Base | _ -> Protocol.Config.Smp);
           model = (match !model with "sc" -> Protocol.Config.Sc | _ -> Protocol.Config.Rc);
           line_size = !line;
-          shared_size = 8 * 1024 * 1024;
+          regions;
+          shared_size;
         };
     }
   in
@@ -71,6 +81,8 @@ let () =
     (let b = Shasta.Cluster.total_breakdown cl in
      Shasta.Breakdown.normalize ~against:b b);
   Format.printf "%a" Shasta.Cluster.pp_fault_report cl;
+  if !stats || !granularity <> "" then
+    Format.printf "%a" Shasta.Cluster.pp_layout_report cl;
   if !stats then
     List.iter
       (fun h ->

@@ -25,6 +25,7 @@ let cycles : Insn.t -> int = function
   | Insn.Halt -> 1
   | Insn.Load_check _ -> 3
   | Insn.Store_check _ -> 7
+  | Insn.Gran_lookup _ -> 2
   | Insn.Batch_check entries -> 2 + (2 * List.length entries)
   | Insn.Ll_check _ -> 3
   | Insn.Sc_check _ -> 4

@@ -84,6 +84,11 @@ type t =
   | Ll_check of int * reg  (** before LL: ensure line readable, remember its state *)
   | Sc_check of width * reg * int * reg
       (** before SC: run in hardware if exclusive, else protocol *)
+  | Gran_lookup of int * reg
+      (** variable-granularity block-number table lookup: shift the
+          address by the chunk size, load the block id (Section 2.1);
+          emitted before state-table checks when regions have mixed
+          block sizes *)
   | Mb_check  (** after MB: protocol fence (wait for stores, service invals) *)
   | Poll  (** loop-backedge poll of the incoming-message flag *)
   | Prefetch_excl of int * reg  (** non-binding exclusive prefetch before LL/SC loops *)
@@ -93,8 +98,8 @@ type t =
     check that original binaries contain none and to compute code-size
     growth. *)
 let is_pseudo = function
-  | Load_check _ | Store_check _ | Batch_check _ | Ll_check _ | Sc_check _ | Mb_check | Poll
-  | Prefetch_excl _ ->
+  | Load_check _ | Store_check _ | Batch_check _ | Ll_check _ | Sc_check _ | Gran_lookup _
+  | Mb_check | Poll | Prefetch_excl _ ->
       true
   | Binop _ | Li _ | Lif _ | Ld _ | St _ | Ldf _ | Stf _ | Fbinop _ | Fcmp _ | Cvt_if _
   | Cvt_fi _ | Fmov _ | Ll _ | Sc _ | Mb | Br _ | Bcond _ | Call _ | Ret | Halt | Label _ ->
@@ -111,6 +116,7 @@ let size_in_slots = function
   | Batch_check entries -> 2 + (2 * List.length entries)
   | Ll_check _ -> 3
   | Sc_check _ -> 4
+  | Gran_lookup _ -> 2
   | Mb_check -> 2
   | Poll -> 3
   | Prefetch_excl _ -> 2
@@ -176,6 +182,7 @@ let pp ppf = function
   | Batch_check es -> Format.fprintf ppf "<batch_check x%d>" (List.length es)
   | Ll_check (off, b) -> Format.fprintf ppf "<ll_check %d(r%d)>" off b
   | Sc_check (w, r, off, b) -> Format.fprintf ppf "<sc_check%a r%d, %d(r%d)>" pp_width w r off b
+  | Gran_lookup (off, b) -> Format.fprintf ppf "<gran_lookup %d(r%d)>" off b
   | Mb_check -> Format.fprintf ppf "<mb_check>"
   | Poll -> Format.fprintf ppf "<poll>"
   | Prefetch_excl (off, b) -> Format.fprintf ppf "<prefetch_excl %d(r%d)>" off b

@@ -209,6 +209,10 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
           match rt.Runtime.sc_check (addr_of off b) w (rget r) with
           | Runtime.Run_in_hardware -> sc_override := None
           | Runtime.Handled ok -> sc_override := Some ok)
+      | Insn.Gran_lookup _ ->
+          (* Cost-only model of the block-number table load: the checks
+             that follow do the real lookup through the engine's layout. *)
+          flush ()
       | Insn.Mb_check ->
           flush ();
           rt.Runtime.mb_check ()

@@ -37,9 +37,9 @@ let reference n =
   pos
 
 let make t ~size:n =
-  let pos = alloc_farray t n in
-  let vel = alloc_farray t n in
-  let cells = alloc_farray t n_cells in
+  let pos = alloc_farray ~granularity:512 t n in
+  let vel = alloc_farray ~granularity:512 t n in
+  let cells = alloc_farray ~granularity:512 t n_cells in
   let cell_locks = Array.init n_cells (fun _ -> make_lock t) in
   let bar = make_barrier t in
   let body p h =

@@ -43,9 +43,9 @@ let reference n ~cells =
 
 let make t ~size:n =
   let cells = 128 in
-  let agg = alloc_farray t cells in
-  let field = alloc_farray t cells in
-  let acc = alloc_farray t n in
+  let agg = alloc_farray ~granularity:512 t cells in
+  let field = alloc_farray ~granularity:512 t cells in
+  let acc = alloc_farray ~granularity:512 t n in
   let cell_locks = Array.init cells (fun _ -> make_lock t) in
   let bar = make_barrier t in
   (* Home placement: cell aggregates, fields and body accumulators are

@@ -55,7 +55,7 @@ let make_lock t =
       let id = t.next_lock_id in
       t.next_lock_id <- id + 1;
       Mp_lock id
-  | Sm -> Sm_lock (C.alloc t.cluster 64)
+  | Sm -> Sm_lock (C.alloc ~granularity:64 t.cluster 64)
 
 let make_barrier t =
   match t.sync with
@@ -63,7 +63,7 @@ let make_barrier t =
       let id = t.next_barrier_id in
       t.next_barrier_id <- id + 1;
       Mp_barrier id
-  | Sm -> Sm_barrier (C.alloc t.cluster 64)
+  | Sm -> Sm_barrier (C.alloc ~granularity:64 t.cluster 64)
 
 let lock h = function Mp_lock id -> R.lock h id | Sm_lock a -> R.sm_lock h a
 let unlock h = function Mp_lock id -> R.unlock h id | Sm_lock a -> R.sm_unlock h a
@@ -76,7 +76,11 @@ let barrier t h = function
 
 type farray = { base : int; len : int }
 
-let alloc_farray t len = { base = C.alloc t.cluster (8 * len); len }
+(** [alloc_farray t ?granularity len] — shared array of [len] 8-byte
+    elements.  [granularity] places it in the layout region with the
+    closest block size: bulk arrays want coarse blocks (fewer misses on
+    streaming scans), contended per-element arrays want fine ones. *)
+let alloc_farray ?granularity t len = { base = C.alloc ?granularity t.cluster (8 * len); len }
 
 let fget h a i = R.load_float h (a.base + (8 * i))
 
@@ -94,19 +98,25 @@ let iset h a i v = R.store_int h (a.base + (8 * i)) v
     rewriter batches an inner loop's accesses (Section 2.2).  Issued in
     windows of 16 lines, the practical size of a batched sequence. *)
 let batch_read h (a : farray) lo hi =
-  let line = 64 in
+  let layout = R.layout h in
   let start = a.base + (8 * lo) in
   let stop = a.base + (8 * hi) in
-  let first = start / line * line in
   let rec go addr acc n =
     if addr >= stop then (if acc <> [] then R.batch h (List.rev acc))
     else if n = 16 then begin
       R.batch h (List.rev acc);
       go addr [] 0
     end
-    else go (addr + line) ((addr, Alpha.Insn.W64, Alpha.Insn.Load_acc) :: acc) (n + 1)
+    else
+      (* Step a whole coherence block at a time: extents vary by region. *)
+      let b = Protocol.Layout.block_of_addr layout addr in
+      let base = Protocol.Layout.block_base layout b in
+      go
+        (base + Protocol.Layout.block_len layout b)
+        ((base, Alpha.Insn.W64, Alpha.Insn.Load_acc) :: acc)
+        (n + 1)
   in
-  go first [] 0
+  go start [] 0
 
 (** [place_home t ~addr ~len ~owner] — home the given range at the
     domain of processor [owner] (the paper's home placement optimisation,
@@ -132,7 +142,7 @@ let read_valid cluster addr =
   let values =
     List.filter_map
       (fun h ->
-        match Protocol.Engine.line_state h.R.pcb addr with
+        match Protocol.Engine.block_state h.R.pcb addr with
         | _, (Protocol.Ptypes.Shared | Protocol.Ptypes.Exclusive) ->
             Some (Protocol.Engine.raw_read h.R.pcb addr Alpha.Insn.W64)
         | _, (Protocol.Ptypes.Invalid | Protocol.Ptypes.Pending) -> None)

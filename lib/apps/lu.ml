@@ -43,7 +43,7 @@ let make_variant ~layout t ~size:n =
   let b = block_size in
   if n mod b <> 0 then invalid_arg "LU: size must be a multiple of the block size";
   let nb = n / b in
-  let m = alloc_farray t (n * n) in
+  let m = alloc_farray ~granularity:512 t (n * n) in
   let idx =
     match layout with
     | Row_major -> fun i j -> (i * n) + j

@@ -35,7 +35,7 @@ let make t ~size:n =
      that neighbouring processors' rows never share a line: the remaining
      communication is the true boundary-row sharing. *)
   let stride = (n + 7) / 8 * 8 in
-  let g = alloc_farray t (stride * n) in
+  let g = alloc_farray ~granularity:512 t (stride * n) in
   let bar = make_barrier t in
   let idx i j = (i * stride) + j in
   (* Home placement: each processor's rows live at its own domain. *)

@@ -29,10 +29,11 @@ let reference ~scene_size n =
 
 let make t ~size:n =
   let scene_size = 4096 in
-  let scene = alloc_farray t scene_size in
-  let image = alloc_farray t n in
-  let next_ray = Shasta.Cluster.alloc t.cluster 64 in
-  let alloc_ptr = Shasta.Cluster.alloc t.cluster 64 in
+  let scene = alloc_farray ~granularity:512 t scene_size in
+  let image = alloc_farray ~granularity:512 t n in
+  (* Task-queue words are hammered by every process: fine blocks. *)
+  let next_ray = Shasta.Cluster.alloc ~granularity:64 t.cluster 64 in
+  let alloc_ptr = Shasta.Cluster.alloc ~granularity:64 t.cluster 64 in
   let queue_lock = make_lock t in
   let alloc_lock = make_lock t in
   let bar = make_barrier t in

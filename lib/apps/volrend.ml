@@ -22,9 +22,11 @@ let reference ~volume_size n =
 
 let make t ~size:n =
   let volume_size = 8192 in
-  let volume = alloc_farray t volume_size in
-  let image = alloc_farray t n in
-  let counters = Array.init n_queues (fun _ -> Shasta.Cluster.alloc t.cluster 64) in
+  let volume = alloc_farray ~granularity:512 t volume_size in
+  let image = alloc_farray ~granularity:512 t n in
+  let counters =
+    Array.init n_queues (fun _ -> Shasta.Cluster.alloc ~granularity:64 t.cluster 64)
+  in
   let locks = Array.init n_queues (fun _ -> make_lock t) in
   let bar = make_barrier t in
   let per_queue = (n + n_queues - 1) / n_queues in

@@ -49,10 +49,10 @@ let reference ?(cutoff = None) n =
   pos
 
 let make_nsq t ~size:n =
-  let pos = alloc_farray t n in
-  let acc = alloc_farray t n in
-  let force = alloc_farray t n in
-  let fields = alloc_farray t (n * fields_per_molecule) in
+  let pos = alloc_farray ~granularity:512 t n in
+  let acc = alloc_farray ~granularity:64 t n in
+  let force = alloc_farray ~granularity:64 t n in
+  let fields = alloc_farray ~granularity:512 t (n * fields_per_molecule) in
   let locks = Array.init (min n 128) (fun _ -> make_lock t) in
   let lock_of i = locks.(i mod Array.length locks) in
   let bar = make_barrier t in
@@ -124,10 +124,10 @@ let make_nsq t ~size:n =
 let cutoff = 0.25
 
 let make_spatial t ~size:n =
-  let pos = alloc_farray t n in
-  let acc = alloc_farray t n in
-  let force = alloc_farray t n in
-  let fields = alloc_farray t (n * fields_per_molecule) in
+  let pos = alloc_farray ~granularity:512 t n in
+  let acc = alloc_farray ~granularity:64 t n in
+  let force = alloc_farray ~granularity:64 t n in
+  let fields = alloc_farray ~granularity:512 t (n * fields_per_molecule) in
   let locks = Array.init (min n 128) (fun _ -> make_lock t) in
   let lock_of i = locks.(i mod Array.length locks) in
   let bar = make_barrier t in

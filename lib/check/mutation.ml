@@ -20,6 +20,7 @@ let all_mutations =
     (Protocol.Config.Skip_inval_ack, "skip-inval-ack");
     (Protocol.Config.Keep_private_on_recall, "keep-private-on-recall");
     (Protocol.Config.Skip_one_invalidation, "skip-one-invalidation");
+    (Protocol.Config.Wrong_block_extent, "wrong-block-extent");
   ]
 
 (** [hunt ?seeds ?scenarios ()] — for each mutation, try the FIFO

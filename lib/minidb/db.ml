@@ -58,7 +58,9 @@ let create (ctx : K.ctx) ~pages ~rows_per_page ~nframes =
   let page_bytes = rows_per_page * row_bytes in
   let logbuf_bytes = 16 * 1024 in
   let sga_bytes = 4096 + logbuf_bytes + Buffer.layout_size ~nframes ~page_bytes in
-  let seg = K.shmget ctx sga_bytes in
+  (* The SGA is control-structure heavy (latches, stats words, log
+     head): fine blocks keep the latch traffic off the buffer frames. *)
+  let seg = K.shmget ~granularity:64 ctx sga_bytes in
   let sga = K.shmat ctx seg in
   let stats_addr = sga in
   let logctl = sga + 256 in

@@ -345,10 +345,12 @@ let kill ctx target =
 
 (* --- shared memory segments (Section 4.2) --- *)
 
-(** [shmget ctx bytes] — create a segment in the Shasta shared region. *)
-let shmget ctx bytes =
+(** [shmget ctx ?granularity bytes] — create a segment in the Shasta
+    shared region; [granularity] hints the coherence block size the
+    segment wants (see {!Shasta.Cluster.alloc}). *)
+let shmget ?granularity ctx bytes =
   syscall_enter ctx;
-  let addr = Shasta.Cluster.alloc ctx.k.cluster bytes in
+  let addr = Shasta.Cluster.alloc ?granularity ctx.k.cluster bytes in
   let id = ctx.k.next_seg in
   ctx.k.next_seg <- id + 1;
   Hashtbl.replace ctx.k.shm_segs id (addr, bytes);
@@ -380,12 +382,14 @@ let validate ctx ~addr ~len ~(kind : Alpha.Insn.access_kind) =
     && Shasta.Runtime.is_shared ctx.h addr
   then begin
     let pcfg = (cfg ctx.k).Shasta.Config.protocol in
-    let line = pcfg.Protocol.Config.line_size in
-    let first = addr / line * line in
-    let rec entries a acc =
-      if a >= addr + len then List.rev acc else entries (a + line) ((a, Alpha.Insn.W32, kind) :: acc)
+    let layout = Shasta.Runtime.layout ctx.h in
+    (* One check per coherence block the buffer overlaps: block extents
+       vary by region, so walk the layout rather than a fixed stride. *)
+    let es =
+      List.map
+        (fun b -> (Protocol.Layout.block_base layout b, Alpha.Insn.W32, kind))
+        (Protocol.Layout.blocks_of_range layout ~addr ~len)
     in
-    let es = entries first [] in
     let per_line =
       match pcfg.Protocol.Config.variant with
       | Protocol.Config.Base -> validate_line_cost_base

@@ -56,11 +56,16 @@ type mutation =
       (** leave members' private state tables untouched by a recall *)
   | Skip_one_invalidation
       (** the home forgets the first sharer when collecting invalidations *)
+  | Wrong_block_extent
+      (** an invalidation writes flag words one chunk past its block *)
 
 type t = {
   variant : variant;
   model : model;
   line_size : int;  (** bytes; typically 64 or 128 (Section 2.1) *)
+  regions : Layout.region_spec list;
+      (** variable-granularity regions; [[]] = one uniform region of
+          [line_size] blocks covering the whole shared segment *)
   shared_base : int;
   shared_size : int;
   flag32 : int32;  (** the per-4-byte-word invalid flag value (Section 2.2) *)
@@ -77,6 +82,7 @@ let default =
     variant = Smp;
     model = Rc;
     line_size = 64;
+    regions = [];
     shared_base = 0x4000_0000;
     shared_size = 8 * 1024 * 1024;
     flag32 = 0xDEADBEEFl;
@@ -87,15 +93,12 @@ let default =
     mutation = None;
   }
 
-let n_lines t = (t.shared_size + t.line_size - 1) / t.line_size
-
-let line_of_addr t addr =
-  let off = addr - t.shared_base in
-  if off < 0 || off >= t.shared_size then
-    invalid_arg (Printf.sprintf "address 0x%x outside the shared region" addr);
-  off / t.line_size
-
-let addr_of_line t line = t.shared_base + (line * t.line_size)
+(** [layout t] compiles the region list into the per-chunk lookup
+    table; an empty [regions] is one uniform region at [line_size]. *)
+let layout t =
+  match t.regions with
+  | [] -> Layout.uniform ~base:t.shared_base ~size:t.shared_size ~block:t.line_size ()
+  | specs -> Layout.create ~base:t.shared_base ~size:t.shared_size specs
 
 let is_shared t addr = addr >= t.shared_base && addr < t.shared_base + t.shared_size
 

@@ -18,7 +18,11 @@ type txn = {
 type entry = {
   block : Ptypes.block_id;
   mutable owner : Ptypes.domain_id option;
-  mutable sharers : Ptypes.domain_id list;
+  mutable sharers : int;  (** bitmask, bit [d] set iff domain [d] shares the block *)
+  mutable sharers_order : Ptypes.domain_id list;
+      (** the same set, most-recently-added first — the order the home
+          fans out invalidations in, kept identical to the historical
+          list representation so simulated timing is unchanged *)
   mutable busy : txn option;
   deferred : Ptypes.msg Queue.t;
   next_seq : (Ptypes.domain_id, int) Hashtbl.t;
@@ -27,7 +31,16 @@ type entry = {
 
 type t = { entries : (Ptypes.block_id, entry) Hashtbl.t; home_domain : Ptypes.domain_id }
 
-let create ~home_domain = { entries = Hashtbl.create 1024; home_domain }
+(* The sharer set is an int bitmask, so domain ids must fit in a word. *)
+let max_domains = Sys.int_size - 1
+
+let check_domain d =
+  if d < 0 || d >= max_domains then
+    invalid_arg (Printf.sprintf "Directory: domain id %d outside 0..%d" d (max_domains - 1))
+
+let create ~home_domain =
+  check_domain home_domain;
+  { entries = Hashtbl.create 1024; home_domain }
 
 (** New entries are born with the home domain as the only sharer: the
     home's memory image is initialised with valid (zero) data. *)
@@ -39,7 +52,8 @@ let entry t block =
         {
           block;
           owner = None;
-          sharers = [ t.home_domain ];
+          sharers = 1 lsl t.home_domain;
+          sharers_order = [ t.home_domain ];
           busy = None;
           deferred = Queue.create ();
           next_seq = Hashtbl.create 4;
@@ -55,11 +69,32 @@ let find t block = Hashtbl.find_opt t.entries block
 (** [iter_entries f t] applies [f] to every allocated entry. *)
 let iter_entries f t = Hashtbl.iter (fun _ e -> f e) t.entries
 
-let is_sharer e d = List.mem d e.sharers
+let is_sharer e d = e.sharers land (1 lsl d) <> 0
 
-let add_sharer e d = if not (is_sharer e d) then e.sharers <- d :: e.sharers
+let add_sharer e d =
+  check_domain d;
+  if e.sharers land (1 lsl d) = 0 then begin
+    e.sharers <- e.sharers lor (1 lsl d);
+    e.sharers_order <- d :: e.sharers_order
+  end
 
-let remove_sharer e d = e.sharers <- List.filter (fun x -> x <> d) e.sharers
+let remove_sharer e d =
+  if e.sharers land (1 lsl d) <> 0 then begin
+    e.sharers <- e.sharers land lnot (1 lsl d);
+    e.sharers_order <- List.filter (fun x -> x <> d) e.sharers_order
+  end
+
+let clear_sharers e =
+  e.sharers <- 0;
+  e.sharers_order <- []
+
+let no_sharers e = e.sharers = 0
+
+(** [sharers_list e] — the sharer set as a domain-id list, most recently
+    added first; compatibility accessor for fan-out, the invariant
+    checker and the pretty-printing paths (membership tests use the mask
+    directly). *)
+let sharers_list e = e.sharers_order
 
 (** [stamp e d] allocates the next sequence number for messages from this
     entry's home to domain [d]. *)

@@ -90,7 +90,7 @@ and domain = {
   dom_id : int;
   dom_node : int;
   img : Memimg.t;
-  shared_tab : Bytes.t;  (** per-line node-level state *)
+  shared_tab : Bytes.t;  (** node-level state, one byte per block *)
   mutable members : pcb list;
   dom_mailbox : Ptypes.msg Mchan.Mailbox.t;
   dir : Directory.t;
@@ -104,16 +104,24 @@ and domain = {
 
 and local_txn = { mutable lt_awaiting : int; lt_to_shared : bool }
 
+and rstat = {
+  mutable r_read_misses : int;
+  mutable r_store_misses : int;
+  mutable r_invals : int;
+  mutable r_recalls : int;
+  mutable r_data_bytes : int;  (** payload bytes moved in data replies/writebacks *)
+}
+
 and t = {
   cfg : Config.t;
   net : Mchan.Net.t;
+  layout : Layout.t;  (** region layout; all state tables are per block *)
   mutable domains : domain list;  (** most-recent first; use [domain_by_id] *)
   domain_tbl : (int, domain) Hashtbl.t;
   pcbs : (int, pcb) Hashtbl.t;
   mutable home_domains : int array;
-  block_start : int array;  (** line -> first line of its block *)
-  block_len : int array;  (** first line -> block length in lines *)
-  home_override : int array;  (** per line: forced home domain, or -1 *)
+  home_override : int array;  (** per block: forced home domain, or -1 *)
+  rstats : rstat array;  (** per-region protocol traffic counters *)
   mutable initialized : bool;
   mutable mutation_fires : int;  (** times the seeded bug was exercised *)
   mutable invariant_checks : int;  (** per-message invariant sweeps run *)
@@ -134,8 +142,8 @@ let st_of_char = function
   | 'P' -> Ptypes.Pending
   | c -> invalid_arg (Printf.sprintf "bad state char %c" c)
 
-let tab_get tab line = st_of_char (Bytes.get tab line)
-let tab_set tab line s = Bytes.set tab line (st_char s)
+let tab_get tab block = st_of_char (Bytes.get tab block)
+let tab_set tab block s = Bytes.set tab block (st_char s)
 
 (* Block-level event tracing for protocol debugging: set
    SHASTA_DEBUG_BLOCK=<block id> to dump every transition of that block. *)
@@ -168,17 +176,21 @@ let consume_seq d msg =
 
 
 let create ~cfg ~net =
+  let layout = Config.layout cfg in
+  let n_blocks = Layout.n_blocks layout in
   let t =
     {
       cfg;
       net;
+      layout;
       domains = [];
       domain_tbl = Hashtbl.create 32;
       pcbs = Hashtbl.create 64;
       home_domains = [||];
-      block_start = Array.init (Config.n_lines cfg) (fun i -> i);
-      block_len = Array.make (Config.n_lines cfg) 1;
-      home_override = Array.make (Config.n_lines cfg) (-1);
+      home_override = Array.make n_blocks (-1);
+      rstats =
+        Array.init (Layout.n_regions layout) (fun _ ->
+            { r_read_misses = 0; r_store_misses = 0; r_invals = 0; r_recalls = 0; r_data_bytes = 0 });
       initialized = false;
       mutation_fires = 0;
       invariant_checks = 0;
@@ -192,10 +204,8 @@ let create ~cfg ~net =
           {
             dom_id = node;
             dom_node = node;
-            img =
-              Memimg.create ~base:cfg.Config.shared_base ~size:cfg.Config.shared_size
-                ~line_size:cfg.Config.line_size;
-            shared_tab = Bytes.make (Config.n_lines cfg) 'I';
+            img = Memimg.create ~layout;
+            shared_tab = Bytes.make n_blocks 'I';
             members = [];
             dom_mailbox = Mchan.Mailbox.create ~owner:(-1);
             dir = Directory.create ~home_domain:node;
@@ -217,10 +227,8 @@ let fresh_domain t ~node ~id =
     {
       dom_id = id;
       dom_node = node;
-      img =
-        Memimg.create ~base:t.cfg.Config.shared_base ~size:t.cfg.Config.shared_size
-          ~line_size:t.cfg.Config.line_size;
-      shared_tab = Bytes.make (Config.n_lines t.cfg) 'I';
+      img = Memimg.create ~layout:t.layout;
+      shared_tab = Bytes.make (Layout.n_blocks t.layout) 'I';
       members = [];
       dom_mailbox = Mchan.Mailbox.create ~owner:id;
       dir = Directory.create ~home_domain:id;
@@ -251,7 +259,7 @@ let attach t (proc : Sim.Proc.t) =
       proc;
       dom;
       eng = t;
-      private_tab = Bytes.make (Config.n_lines t.cfg) 'I';
+      private_tab = Bytes.make (Layout.n_blocks t.layout) 'I';
       mailbox = Mchan.Mailbox.create ~owner:pid;
       outstanding = Hashtbl.create 8;
       n_outstanding_stores = 0;
@@ -271,29 +279,12 @@ let attach t (proc : Sim.Proc.t) =
   proc.Sim.Proc.stall_signal <- Some (Mchan.Net.node_signal t.net node);
   pcb
 
-(** [set_block_size t ~addr ~len ~lines] makes every block overlapping
-    [\[addr, addr+len)] span [lines] consecutive coherence lines (the
-    variable-granularity support of Section 2.1).  Must be called before
-    [init]. *)
-let set_block_size t ~addr ~len ~lines =
-  if t.initialized then invalid_arg "set_block_size after init";
-  if lines <= 0 then invalid_arg "set_block_size: lines";
-  let first = Config.line_of_addr t.cfg addr in
-  let last = Config.line_of_addr t.cfg (addr + len - 1) in
-  (* Align block boundaries to multiples of [lines] within the region. *)
-  let l = ref first in
-  while !l <= last do
-    let blk_len = min lines (last - !l + 1) in
-    for k = !l to !l + blk_len - 1 do
-      t.block_start.(k) <- !l
-    done;
-    t.block_len.(!l) <- blk_len;
-    l := !l + blk_len
-  done
+(** [layout t] — the compiled region layout; variable granularity comes
+    from [Config.regions] (Section 2.1), fixed before the engine exists. *)
+let layout t = t.layout
 
-let block_of_line t line = t.block_start.(line)
-let block_of_addr t addr = block_of_line t (Config.line_of_addr t.cfg addr)
-let lines_of_block t b = t.block_len.(b)
+let block_of_addr t addr = Layout.block_of_addr t.layout addr
+let block_bytes t b = Layout.block_len t.layout b
 
 let home_domain_of_block t b =
   if t.home_override.(b) >= 0 then t.home_override.(b)
@@ -307,11 +298,7 @@ let home_domain_of_block t b =
     the processor that predominantly writes them.  Must precede [init]. *)
 let set_home t ~addr ~len ~domain =
   if t.initialized then invalid_arg "set_home after init";
-  let first = Config.line_of_addr t.cfg addr in
-  let last = Config.line_of_addr t.cfg (addr + len - 1) in
-  for l = first to last do
-    t.home_override.(l) <- domain
-  done
+  Layout.iter_range t.layout ~addr ~len (fun b -> t.home_override.(b) <- domain)
 
 (** [init t ?homes ()] finalises setup: picks the home domains (default:
     every domain), fills every image with the invalid-flag value, then
@@ -339,35 +326,39 @@ let init ?homes t =
         let candidates = if candidates = [] then domains else candidates in
         Array.of_list (List.map (fun d -> d.dom_id) candidates));
   if Array.length t.home_domains = 0 then invalid_arg "Engine.init: no home domains";
-  let n_lines = Config.n_lines t.cfg in
+  let n_blocks = Layout.n_blocks t.layout in
   List.iter
     (fun d ->
-      for line = 0 to n_lines - 1 do
-        Memimg.write_flags d.img ~flag32:t.cfg.Config.flag32 ~line
+      for b = 0 to n_blocks - 1 do
+        Memimg.write_flags d.img ~flag32:t.cfg.Config.flag32 ~block:b
       done)
     domains;
   (* Home copies: zero data, Shared state. *)
-  let line = ref 0 in
-  while !line < n_lines do
-    let b = t.block_start.(!line) in
-    let len = t.block_len.(b) in
+  for b = 0 to n_blocks - 1 do
     let home = domain_by_id t (home_domain_of_block t b) in
-    let zeros = Bytes.make (len * t.cfg.Config.line_size) '\000' in
-    Memimg.write_block home.img ~line:b zeros;
-    for k = b to b + len - 1 do
-      tab_set home.shared_tab k Ptypes.Shared
-    done;
-    line := b + len
+    Memimg.write_block home.img ~block:b (Bytes.make (block_bytes t b) '\000');
+    tab_set home.shared_tab b Ptypes.Shared
   done
 
 (* --- message plumbing --- *)
 
+(* Per-region traffic accounting: payload bytes of every data-carrying
+   message, attributed to the block's region. *)
+let count_data t msg =
+  match msg with
+  | Ptypes.Data_reply { block; data; _ } | Ptypes.Writeback { block; data; _ } ->
+      let r = t.rstats.(Layout.block_region t.layout block) in
+      r.r_data_bytes <- r.r_data_bytes + Bytes.length data
+  | _ -> ()
+
 let send_to_domain t ~cur ~from_node dst_domain msg =
+  count_data t msg;
   let dst = domain_by_id t dst_domain in
   Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:dst.dom_node
     ~size:(Ptypes.msg_size msg) (fun () -> Mchan.Mailbox.push dst.dom_mailbox msg)
 
 let send_to_pid t ~cur ~from_node dst_pid msg =
+  count_data t msg;
   let pcb = Hashtbl.find t.pcbs dst_pid in
   Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:pcb.dom.dom_node
     ~size:(Ptypes.msg_size msg) (fun () -> Mchan.Mailbox.push pcb.mailbox msg)
@@ -375,16 +366,13 @@ let send_to_pid t ~cur ~from_node dst_pid msg =
 (* --- state transitions applied at a domain --- *)
 
 let set_block_state_shared d t b s =
-  for k = b to b + lines_of_block t b - 1 do
-    tab_set d.shared_tab k s
-  done
+  ignore t;
+  tab_set d.shared_tab b s
 
 let set_block_state_private ?(why = "?") pcb t b s =
   dbg b "[%.9f] PRIV pid%d blk=%d <- %c @ %s" (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid b
     (Ptypes.state_to_char s) why;
-  for k = b to b + lines_of_block t b - 1 do
-    tab_set pcb.private_tab k s
-  done
+  tab_set pcb.private_tab b s
 
 let batch_contains pcb b = List.mem b pcb.batch_blocks
 
@@ -405,17 +393,27 @@ let replay_recorded_stores t d b =
       | None -> ())
     d.members
 
-(** Write flag values into every line of a block, unless a member process
+(** Write flag values into every word of a block, unless a member process
     is mid-batch over the block, in which case the flag writes are
     deferred until that process next enters the protocol (Section 4.1). *)
 let invalidate_block_data t d b =
   let deferring =
     List.filter (fun m -> m.in_batch && batch_contains m b) d.members
   in
-  if deferring = [] then
-    for k = b to b + lines_of_block t b - 1 do
-      Memimg.write_flags d.img ~flag32:t.cfg.Config.flag32 ~line:k
-    done
+  if deferring = [] then begin
+    Memimg.write_flags d.img ~flag32:t.cfg.Config.flag32 ~block:b;
+    (* Seeded bug: the flag writes overrun the block's layout extent by
+       one chunk, corrupting whatever the next block holds — exactly the
+       failure the per-block-extent invariants must catch. *)
+    if t.cfg.Config.mutation = Some Config.Wrong_block_extent then begin
+      let spill_addr = Layout.block_base t.layout b + Layout.block_len t.layout b in
+      if Layout.contains t.layout spill_addr then begin
+        t.mutation_fires <- t.mutation_fires + 1;
+        Memimg.write_flags_range d.img ~flag32:t.cfg.Config.flag32 ~addr:spill_addr
+          ~len:(Layout.chunk t.layout)
+      end
+    end
+  end
   else List.iter (fun m -> m.deferred_flags <- b :: m.deferred_flags) deferring
 
 (* Invalidate (shared -> invalid) at a domain; acks back to the home.
@@ -427,6 +425,8 @@ let apply_invalidate t d ~cur ~home_domain b =
   let skip_apply = t.cfg.Config.mutation = Some Config.Skip_invalidate in
   let skip_ack = t.cfg.Config.mutation = Some Config.Skip_inval_ack in
   if skip_apply || skip_ack then t.mutation_fires <- t.mutation_fires + 1;
+  let r = t.rstats.(Layout.block_region t.layout b) in
+  r.r_invals <- r.r_invals + 1;
   if not skip_apply then begin
     invalidate_block_data t d b;
     set_block_state_shared d t b Ptypes.Invalid;
@@ -441,15 +441,13 @@ let apply_invalidate t d ~cur ~home_domain b =
 let complete_recall t d ~cur b ~to_shared ~home_domain =
   dbg b "[%.9f] RECALL-DONE at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
   let keep_private = t.cfg.Config.mutation = Some Config.Keep_private_on_recall in
-  let data = Memimg.read_block d.img ~line:b ~lines:(lines_of_block t b) in
+  let data = Memimg.read_block d.img ~block:b in
   if to_shared then begin
     set_block_state_shared d t b Ptypes.Shared;
     if not keep_private then
       List.iter
         (fun m ->
-          for k = b to b + lines_of_block t b - 1 do
-            if tab_get m.private_tab k = Ptypes.Exclusive then tab_set m.private_tab k Ptypes.Shared
-          done)
+          if tab_get m.private_tab b = Ptypes.Exclusive then tab_set m.private_tab b Ptypes.Shared)
         d.members
   end
   else begin
@@ -467,6 +465,8 @@ let complete_recall t d ~cur b ~to_shared ~home_domain =
    via an explicit message otherwise (Section 2.3). *)
 let apply_recall t d ~cur ~servicer b ~to_shared ~home_domain =
   dbg b "[%.9f] RECALL at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
+  let r = t.rstats.(Layout.block_region t.layout b) in
+  r.r_recalls <- r.r_recalls + 1;
   (* Block intra-node exclusive grants while the recall is in flight. *)
   set_block_state_shared d t b Ptypes.Pending;
   if t.cfg.Config.mutation = Some Config.Keep_private_on_recall then begin
@@ -477,14 +477,7 @@ let apply_recall t d ~cur ~servicer b ~to_shared ~home_domain =
     complete_recall t d ~cur b ~to_shared ~home_domain
   end
   else
-  let needs_downgrade m =
-    m.pid <> servicer
-    && (let rec any k =
-          k < b + lines_of_block t b
-          && (tab_get m.private_tab k = Ptypes.Exclusive || any (k + 1))
-        in
-        any b)
-  in
+  let needs_downgrade m = m.pid <> servicer && tab_get m.private_tab b = Ptypes.Exclusive in
   let pending = ref 0 in
   List.iter
     (fun m ->
@@ -529,9 +522,9 @@ let rec handle_request t home ~cur msg =
           dbg b "[%.9f] HOME req %s blk=%d from dom%d pid%d owner=%s sharers=[%s]" !cur
             (Format.asprintf "%a" Ptypes.pp_kind kind) b from_domain from_pid
             (match entry.Directory.owner with Some o -> string_of_int o | None -> "-")
-            (String.concat "," (List.map string_of_int entry.Directory.sharers));
+            (String.concat "," (List.map string_of_int (Directory.sharers_list entry)));
           let reply_data ~exclusive =
-            let data = Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b) in
+            let data = Memimg.read_block home.img ~block:b in
             send_to_pid t ~cur ~from_node:home.dom_node from_pid
               (Ptypes.Data_reply
                  {
@@ -619,12 +612,11 @@ let rec handle_request t home ~cur msg =
                     (* Snapshot data before invalidating anyone (the home
                        itself may be a sharer). *)
                     let data =
-                      if kind = Ptypes.Read_ex then
-                        Some (Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b))
+                      if kind = Ptypes.Read_ex then Some (Memimg.read_block home.img ~block:b)
                       else None
                     in
                     let others =
-                      List.filter (fun s -> s <> from_domain) entry.Directory.sharers
+                      List.filter (fun s -> s <> from_domain) (Directory.sharers_list entry)
                     in
                     let others =
                       (* Seeded bug: the home forgets one sharer, which
@@ -676,7 +668,7 @@ and grant t home ~cur entry txn =
       let data =
         match txn.Directory.t_data with
         | Some d -> d
-        | None -> Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b)
+        | None -> Memimg.read_block home.img ~block:b
       in
       send_to_pid t ~cur ~from_node:home.dom_node pid
         (Ptypes.Data_reply
@@ -689,7 +681,7 @@ and grant t home ~cur entry txn =
         (Ptypes.Sc_result { block = b; ok = true; to_pid = pid; seq = Directory.stamp entry rdom })
   | Ptypes.Read -> invalid_arg "grant: read transactions complete via writeback");
   entry.Directory.owner <- Some txn.Directory.t_requester_domain;
-  entry.Directory.sharers <- [];
+  Directory.clear_sharers entry;
   finish_txn t home ~cur entry
 
 and finish_txn t home ~cur entry =
@@ -723,17 +715,16 @@ let handle_writeback t home ~cur b data ~from_domain =
              snapshot (a local store may have landed since), so writing
              the snapshot back would lose it. *)
           let data =
-            if from_domain = home.dom_id then
-              Memimg.read_block home.img ~line:b ~lines:(lines_of_block t b)
+            if from_domain = home.dom_id then Memimg.read_block home.img ~block:b
             else begin
-              Memimg.write_block home.img ~line:b data;
+              Memimg.write_block home.img ~block:b data;
               replay_recorded_stores t home b;
               data
             end
           in
           set_block_state_shared home t b Ptypes.Shared;
           entry.Directory.owner <- None;
-          entry.Directory.sharers <- [];
+          Directory.clear_sharers entry;
           List.iter (Directory.add_sharer entry)
             [ from_domain; home.dom_id; txn.Directory.t_requester_domain ];
           send_to_pid t ~cur ~from_node:home.dom_node txn.Directory.t_requester_pid
@@ -751,7 +742,7 @@ let handle_writeback t home ~cur b data ~from_domain =
              invalid (flags already there or written by apply_recall at
              the old owner; the home was not a sharer). *)
           entry.Directory.owner <- Some txn.Directory.t_requester_domain;
-          entry.Directory.sharers <- [];
+          Directory.clear_sharers entry;
           (match txn.Directory.t_kind with
           | Ptypes.Sc_upgrade ->
               send_to_pid t ~cur ~from_node:home.dom_node txn.Directory.t_requester_pid
@@ -791,7 +782,7 @@ let apply_reply t pcb ~cur msg =
       cur := !cur +. t.cfg.Config.costs.Config.reply_process;
       dbg b "[%.9f] REPLY data blk=%d excl=%b at pid%d dom%d (outstanding=%b)" !cur b exclusive
         pcb.pid d.dom_id (Hashtbl.mem pcb.outstanding b);
-      Memimg.write_block d.img ~line:b data;
+      Memimg.write_block d.img ~block:b data;
       replay_recorded_stores t d b;
       (match Hashtbl.find_opt pcb.outstanding b with
       | None -> () (* e.g. a prefetch raced with an invalidation *)
@@ -881,7 +872,7 @@ let handle_domain_msg t d ~cur ~servicer msg =
 
 (* --- coherence invariant checker (the probe of lib/check) ---
 
-   Three invariant families, cross-checking the directory against every
+   Four invariant families, cross-checking the directory against every
    domain's shared state table and every process's private state table:
 
    1. single writer — at most one domain holds a block Exclusive, and
@@ -893,12 +884,20 @@ let handle_domain_msg t d ~cur ~servicer msg =
       block with no entry is still in its pristine home-only state;
    3. table monotonicity — a private-table state never exceeds its
       domain's shared-table state (private E needs domain E/P, private S
-      needs domain S/E/P), and all lines of a block agree.
+      needs domain S/E/P);
+   4. block-extent agreement — when a block is quiet (entry not busy, no
+      outstanding miss, deferral or reissue anywhere), every domain
+      holding it Shared carries byte-identical data over the block's
+      layout extent.  A flag write that overruns its block (the
+      [Wrong_block_extent] mutation) corrupts a neighbouring Shared
+      replica and trips exactly this family; directory entries must also
+      name layout-valid block ids.
 
    [check_block] is cheap (O(domains x members)) and is run after every
-   protocol message, scoped to that message's block, when
-   [Config.check_invariants] is set; [check_quiescent] sweeps the whole
-   engine and is meant for the end of a run. *)
+   protocol message, scoped to that message's block and its immediate
+   neighbours (flag extents can only overrun into an adjacent block),
+   when [Config.check_invariants] is set; [check_quiescent] sweeps the
+   whole engine and is meant for the end of a run. *)
 
 exception
   Coherence_violation of { block : int; time : float; violations : string list }
@@ -912,31 +911,41 @@ let () =
              (String.concat "; " violations))
     | _ -> None)
 
+(* A block is quiet when no transaction, miss, deferred flag write or
+   post-batch reissue anywhere in the engine can still touch it: only
+   then may family 4 compare Shared replicas byte-for-byte. *)
+let block_quiet t b =
+  let home = domain_by_id t (home_domain_of_block t b) in
+  (match Directory.find home.dir b with
+  | Some e -> e.Directory.busy = None && Queue.is_empty e.Directory.deferred
+  | None -> true)
+  && List.for_all
+       (fun d ->
+         (not (Hashtbl.mem d.pending_local b))
+         && List.for_all
+              (fun m ->
+                (not (Hashtbl.mem m.outstanding b))
+                && (not (List.mem b m.deferred_flags))
+                && (not (List.mem b m.watch_blocks))
+                && not
+                     (List.exists
+                        (fun (a, _, _) -> Layout.block_of_addr t.layout a = b)
+                        m.reissue))
+              d.members)
+       t.domains
+
 let check_block t b =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
-  let last = b + lines_of_block t b - 1 in
   let dom_state d = tab_get d.shared_tab b in
   let domains = t.domains in
-  (* family 3: block-uniform lines, private vs shared monotonicity *)
+  (* family 3: private vs shared monotonicity *)
   List.iter
     (fun d ->
       let ds = dom_state d in
-      for k = b + 1 to last do
-        if tab_get d.shared_tab k <> ds then
-          err "dom%d: lines of block %d disagree (%c at %d, %c at %d)" d.dom_id b
-            (st_char ds) b
-            (st_char (tab_get d.shared_tab k))
-            k
-      done;
       List.iter
         (fun m ->
-          let ps = tab_get m.private_tab b in
-          for k = b + 1 to last do
-            if tab_get m.private_tab k <> ps then
-              err "pid%d: private lines of block %d disagree" m.pid b
-          done;
-          match (ps, ds) with
+          match (tab_get m.private_tab b, ds) with
           | Ptypes.Exclusive, (Ptypes.Invalid | Ptypes.Shared) ->
               err "pid%d private E but dom%d is %c" m.pid d.dom_id (st_char ds)
           | Ptypes.Shared, Ptypes.Invalid ->
@@ -944,6 +953,21 @@ let check_block t b =
           | _ -> ())
         d.members)
     domains;
+  (* family 4: quiet Shared replicas agree over the block's layout extent *)
+  (if block_quiet t b then
+     let holders = List.filter (fun d -> dom_state d = Ptypes.Shared) domains in
+     match holders with
+     | [] | [ _ ] -> ()
+     | d0 :: rest ->
+         let ref_data = Memimg.read_block d0.img ~block:b in
+         List.iter
+           (fun d ->
+             if not (Bytes.equal (Memimg.read_block d.img ~block:b) ref_data) then
+               err "dom%d and dom%d disagree on Shared block %d (extent 0x%x+%d)" d0.dom_id
+                 d.dom_id b
+                 (Layout.block_base t.layout b)
+                 (Layout.block_len t.layout b))
+           rest);
   (* family 1: single writer *)
   let excl = List.filter (fun d -> dom_state d = Ptypes.Exclusive) domains in
   (match excl with
@@ -963,11 +987,13 @@ let check_block t b =
   let home = domain_by_id t (home_domain_of_block t b) in
   (match Directory.find home.dir b with
   | None ->
-      (* Untouched block: only the home may hold it (its initial copy). *)
+      (* Untouched block: only the home may hold it (its initial copy).
+         Pending is a legal transient — a requester marks the block
+         Pending before the home has allocated the entry. *)
       List.iter
         (fun d ->
           match dom_state d with
-          | Ptypes.Invalid -> ()
+          | Ptypes.Invalid | Ptypes.Pending -> ()
           | s when d.dom_id = home.dom_id ->
               if s <> Ptypes.Shared then
                 err "no directory entry but home dom%d is %c" d.dom_id (st_char s)
@@ -979,9 +1005,10 @@ let check_block t b =
       | None -> (
           match entry.Directory.owner with
           | Some o ->
-              if entry.Directory.sharers <> [] then
+              if not (Directory.no_sharers entry) then
                 err "owner dom%d with non-empty sharer set [%s]" o
-                  (String.concat "," (List.map string_of_int entry.Directory.sharers));
+                  (String.concat ","
+                     (List.map string_of_int (Directory.sharers_list entry)));
               (match dom_state (domain_by_id t o) with
               | Ptypes.Exclusive | Ptypes.Pending -> ()
               | (Ptypes.Shared | Ptypes.Invalid)
@@ -1016,7 +1043,7 @@ let check_block t b =
                       if not (Directory.is_sharer entry d.dom_id) then
                         err "dom%d Shared but not in the sharer set [%s]" d.dom_id
                           (String.concat ","
-                             (List.map string_of_int entry.Directory.sharers))
+                             (List.map string_of_int (Directory.sharers_list entry)))
                   | _ -> ())
                 domains)));
   List.rev !errs
@@ -1034,16 +1061,24 @@ let msg_block = function
   | Ptypes.Downgrade_ack { block; _ } ->
       block
 
-(* Run after a message is applied, scoped to that message's block. *)
+(* Run after a message is applied, scoped to that message's block and
+   its immediate neighbours: a flag write overrunning the block's layout
+   extent can only land in an adjacent block. *)
 let check_msg t msg =
   t.invariant_checks <- t.invariant_checks + 1;
   let b = msg_block msg in
-  match check_block t b with
-  | [] -> ()
-  | violations ->
-      raise
-        (Coherence_violation
-           { block = b; time = Sim.Engine.now (Mchan.Net.engine t.net); violations })
+  let check b' =
+    if Layout.valid_block t.layout b' then
+      match check_block t b' with
+      | [] -> ()
+      | violations ->
+          raise
+            (Coherence_violation
+               { block = b'; time = Sim.Engine.now (Mchan.Net.engine t.net); violations })
+  in
+  check b;
+  check (b - 1);
+  check (b + 1)
 
 (** [check_quiescent t] — full-state sweep for an engine that should be
     at rest: no transaction, message, miss or Pending line may remain,
@@ -1063,6 +1098,8 @@ let check_quiescent t =
         err "dom%d: %d incomplete local recalls" d.dom_id (Hashtbl.length d.pending_local);
       Directory.iter_entries
         (fun e ->
+          if not (Layout.valid_block t.layout e.Directory.block) then
+            err "dom%d: directory entry for layout-invalid block %d" d.dom_id e.Directory.block;
           (match e.Directory.busy with
           | Some txn ->
               err "dom%d: block %d busy (%s, awaiting %d)" d.dom_id e.Directory.block
@@ -1086,10 +1123,7 @@ let check_quiescent t =
             err "pid%d: %d outstanding stores" m.pid m.n_outstanding_stores)
         d.members)
     t.domains;
-  let n_lines = Config.n_lines t.cfg in
-  let line = ref 0 in
-  while !line < n_lines do
-    let b = t.block_start.(!line) in
+  for b = 0 to Layout.n_blocks t.layout - 1 do
     List.iter
       (fun d ->
         if tab_get d.shared_tab b = Ptypes.Pending then
@@ -1100,8 +1134,7 @@ let check_quiescent t =
               err "pid%d: block %d stuck Pending (private)" m.pid b)
           d.members)
       t.domains;
-    (match check_block t b with [] -> () | es -> errs := List.rev_append es !errs);
-    line := b + t.block_len.(b)
+    match check_block t b with [] -> () | es -> errs := List.rev_append es !errs
   done;
   List.rev !errs
 
@@ -1194,9 +1227,11 @@ let stall_until pcb ~bucket pred =
   | `None -> ());
   dt
 
-let line_state pcb addr =
-  let line = Config.line_of_addr pcb.eng.cfg addr in
-  (tab_get pcb.private_tab line, tab_get pcb.dom.shared_tab line)
+(** [block_state pcb addr] — the (private, domain-shared) state pair of
+    the coherence block covering [addr]. *)
+let block_state pcb addr =
+  let b = Layout.block_of_addr pcb.eng.layout addr in
+  (tab_get pcb.private_tab b, tab_get pcb.dom.shared_tab b)
 
 (* Issue a request to the home; non-blocking (caller stalls if desired). *)
 let issue pcb b kind mkind ?(sc_store = None) () =
@@ -1212,6 +1247,10 @@ let issue pcb b kind mkind ?(sc_store = None) () =
         old.m_done
   | None -> ());
   Hashtbl.replace pcb.outstanding b miss;
+  (let r = t.rstats.(Layout.block_region t.layout b) in
+   match mkind with
+   | MRead -> r.r_read_misses <- r.r_read_misses + 1
+   | MStore | MSc | MPrefetch -> r.r_store_misses <- r.r_store_misses + 1);
   if mkind = MStore then pcb.n_outstanding_stores <- pcb.n_outstanding_stores + 1;
   (match kind with
   | Ptypes.Read | Ptypes.Read_ex ->
@@ -1242,12 +1281,9 @@ let rec apply_deferred pcb =
         pcb.deferred_flags <- [];
         List.iter
           (fun b ->
-            (* Only flag lines that are still invalid. *)
-            let still_invalid = tab_get pcb.dom.shared_tab b = Ptypes.Invalid in
-            if still_invalid then
-              for k = b to b + lines_of_block t b - 1 do
-                Memimg.write_flags pcb.dom.img ~flag32:t.cfg.Config.flag32 ~line:k
-              done)
+            (* Only flag blocks that are still invalid. *)
+            if tab_get pcb.dom.shared_tab b = Ptypes.Invalid then
+              Memimg.write_flags pcb.dom.img ~flag32:t.cfg.Config.flag32 ~block:b)
           blocks);
     pcb.watch_blocks <- [];
     match pcb.reissue with
@@ -1264,7 +1300,7 @@ let rec apply_deferred pcb =
 and reissue_store pcb addr w v =
   let t = pcb.eng in
   let b = block_of_addr t addr in
-  let _, shared = line_state pcb addr in
+  let _, shared = block_state pcb addr in
   match shared with
   | Ptypes.Exclusive ->
       set_block_state_private ~why:"reissue-E" pcb t b Ptypes.Exclusive;
@@ -1293,7 +1329,7 @@ let ensure_read pcb addr =
         ignore (stall_until pcb ~bucket:`Read (fun () -> miss.m_done));
         go ()
     | None -> (
-        let _, shared = line_state pcb addr in
+        let _, shared = block_state pcb addr in
         match shared with
         | Ptypes.Shared | Ptypes.Exclusive ->
             (* Intra-node resolution: another process of the domain holds
@@ -1327,7 +1363,7 @@ let rec load_miss pcb addr w =
   let t = pcb.eng in
   charge pcb t.cfg.Config.costs.Config.miss_entry;
   apply_deferred pcb;
-  let _, shared = line_state pcb addr in
+  let _, shared = block_state pcb addr in
   match shared with
   | Ptypes.Shared | Ptypes.Exclusive ->
       (* False miss: the data genuinely contains the flag value. *)
@@ -1358,7 +1394,7 @@ let ensure_write pcb addr ~blocking =
         (* Non-blocking: the store will be recorded against the
            outstanding miss by [raw_write]. *)
     | None -> (
-        let _, shared = line_state pcb addr in
+        let _, shared = block_state pcb addr in
         match shared with
         | Ptypes.Exclusive ->
             pcb.stats.intra_hits <- pcb.stats.intra_hits + 1;
@@ -1426,13 +1462,13 @@ let raw_write pcb addr w v =
   dbg b "[%.9f] WRITE 0x%x=%Ld pid%d dom%d (outstanding=%b st=%c/%c)"
     (Sim.Engine.now (Mchan.Net.engine t.net)) addr v pcb.pid pcb.dom.dom_id
     (Hashtbl.mem pcb.outstanding b)
-    (Ptypes.state_to_char (tab_get pcb.private_tab (Config.line_of_addr t.cfg addr)))
-    (Ptypes.state_to_char (tab_get pcb.dom.shared_tab (Config.line_of_addr t.cfg addr)));
+    (Ptypes.state_to_char (tab_get pcb.private_tab b))
+    (Ptypes.state_to_char (tab_get pcb.dom.shared_tab b));
   (match Hashtbl.find_opt pcb.outstanding b with
   | Some miss -> miss.m_stores <- (addr, w, v) :: miss.m_stores
   | None ->
       if List.mem b pcb.watch_blocks then begin
-        let _, shared = line_state pcb addr in
+        let _, shared = block_state pcb addr in
         match shared with
         | Ptypes.Exclusive -> ()
         | Ptypes.Shared | Ptypes.Invalid | Ptypes.Pending ->
@@ -1479,7 +1515,7 @@ let batch pcb accesses =
       match Hashtbl.find_opt pcb.outstanding b with
       | Some miss -> misses := miss :: !misses
       | None -> (
-          let _, shared = line_state pcb addr in
+          let _, shared = block_state pcb addr in
           match (kind, shared) with
           | _, Ptypes.Exclusive ->
               set_block_state_private pcb t b Ptypes.Exclusive
@@ -1523,7 +1559,7 @@ let rec ll_ensure pcb addr =
       ignore (stall_until pcb ~bucket:`Read (fun () -> miss.m_done));
       ll_ensure pcb addr
   | None ->
-  let private_s, shared = line_state pcb addr in
+  let private_s, shared = block_state pcb addr in
   (match shared with
   | Ptypes.Invalid | Ptypes.Pending ->
       charge pcb t.cfg.Config.costs.Config.miss_entry;
@@ -1534,7 +1570,7 @@ let rec ll_ensure pcb addr =
           set_block_state_private ~why:"ll-fix" pcb t (block_of_addr t addr)
             (if shared = Ptypes.Exclusive then Ptypes.Exclusive else Ptypes.Shared)
       | Ptypes.Shared | Ptypes.Exclusive -> ()));
-  let private_s, _ = line_state pcb addr in
+  let private_s, _ = block_state pcb addr in
   pcb.last_ll <-
     (if private_s = Ptypes.Exclusive then Some (block_of_addr t addr) else None)
 
@@ -1548,7 +1584,7 @@ let rec sc_check pcb addr w v =
       ignore (stall_until pcb ~bucket:`Write (fun () -> miss.m_done));
       sc_check pcb addr w v
   | None ->
-  let private_s, shared = line_state pcb addr in
+  let private_s, shared = block_state pcb addr in
   dbg b "[%.9f] SC_CHECK pid%d private=%c shared=%c last_ll=%b"
     (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid (Ptypes.state_to_char private_s)
     (Ptypes.state_to_char shared) (pcb.last_ll = Some b);
@@ -1578,7 +1614,7 @@ let prefetch_excl pcb addr =
   let t = pcb.eng in
   let b = block_of_addr t addr in
   if not (Hashtbl.mem pcb.outstanding b) then begin
-    let _, shared = line_state pcb addr in
+    let _, shared = block_state pcb addr in
     match shared with
     | Ptypes.Exclusive | Ptypes.Pending -> ()
     | Ptypes.Shared -> ignore (issue pcb b Ptypes.Upgrade MPrefetch ())
@@ -1598,3 +1634,20 @@ let mutation_fires t = t.mutation_fires
 
 (** Per-message invariant sweeps run so far (0 unless [check_invariants]). *)
 let invariant_checks t = t.invariant_checks
+
+(** Per-region protocol traffic counters, indexed like the layout's
+    regions.  The array is live — callers must not mutate it. *)
+let region_stats t = t.rstats
+
+(** [pp_layout_report ppf t] — per-region protocol traffic table.  The
+    cluster layer wraps this with allocator fragmentation columns. *)
+let pp_layout_report ppf t =
+  Format.fprintf ppf "%-10s %5s %7s %9s %9s %7s %7s %10s@." "region" "block" "blocks"
+    "read-miss" "store-miss" "invals" "recalls" "data-bytes";
+  Array.iteri
+    (fun ri r ->
+      let reg = Layout.region t.layout ri in
+      Format.fprintf ppf "%-10s %5d %7d %9d %9d %7d %7d %10d@." reg.Layout.r_name
+        reg.Layout.r_block reg.Layout.r_n_blocks r.r_read_misses r.r_store_misses r.r_invals
+        r.r_recalls r.r_data_bytes)
+    t.rstats

@@ -1,0 +1,250 @@
+(** Region layout of the shared address space (Section 2.1).
+
+    Shasta supports a different coherence granularity for different
+    ranges of the shared address space: the region table below carves
+    the shared segment into an ordered list of {e regions}, each with
+    its own power-of-two block size, and compiles it into the paper's
+    per-chunk block-number table — one entry per [chunk] bytes of
+    shared space mapping an address to its [(block_id, block_base,
+    block_len)] triple.  The inline miss check and every protocol
+    entry therefore stay O(1) with no division, whatever the mix of
+    granularities.
+
+    Block ids are dense, 0 .. [n_blocks]-1, in address order; with a
+    single uniform 64-byte region they coincide bit-for-bit with the
+    historical fixed-line numbering [(addr - base) / 64]. *)
+
+type region_spec = {
+  rs_name : string;
+  rs_size : int;  (** bytes; must be a multiple of [rs_block] *)
+  rs_block : int;  (** power-of-two block size, 32..4096 (paper: 64-1024) *)
+}
+
+type region = {
+  r_name : string;
+  r_base : int;
+  r_size : int;
+  r_block : int;
+  r_shift : int;  (** log2 [r_block] *)
+  r_first_block : int;
+  r_n_blocks : int;
+}
+
+type t = {
+  base : int;
+  size : int;
+  chunk : int;  (** table granularity: the smallest block size present *)
+  chunk_shift : int;
+  regions : region array;
+  chunk_block : int array;  (** per-chunk -> block id *)
+  block_base : int array;  (** per-block -> first byte address *)
+  block_len : int array;  (** per-block -> length in bytes *)
+  block_region : int array;  (** per-block -> region index *)
+}
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let min_block = 32
+let max_block = 4096
+
+let validate_spec i { rs_name; rs_size; rs_block } =
+  if not (is_pow2 rs_block) then
+    bad "Layout: region %d (%s): block size %d is not a power of two" i rs_name rs_block;
+  if rs_block < min_block || rs_block > max_block then
+    bad "Layout: region %d (%s): block size %d outside %d..%d" i rs_name rs_block min_block
+      max_block;
+  if rs_size <= 0 || rs_size mod rs_block <> 0 then
+    bad "Layout: region %d (%s): size %d is not a positive multiple of block %d" i rs_name
+      rs_size rs_block
+
+(** [create ~base ~size specs] compiles an ordered region list into the
+    lookup tables.  The regions must tile [base, base+size) exactly. *)
+let create ~base ~size specs =
+  if specs = [] then bad "Layout: empty region list";
+  List.iteri validate_spec specs;
+  let total = List.fold_left (fun a s -> a + s.rs_size) 0 specs in
+  if total <> size then
+    bad "Layout: regions cover %d bytes but the shared segment is %d" total size;
+  let chunk = List.fold_left (fun a s -> min a s.rs_block) max_int specs in
+  let chunk_shift = log2 chunk in
+  let n_blocks = List.fold_left (fun a s -> a + (s.rs_size / s.rs_block)) 0 specs in
+  let block_base = Array.make n_blocks 0 in
+  let block_len = Array.make n_blocks 0 in
+  let block_region = Array.make n_blocks 0 in
+  let chunk_block = Array.make (size / chunk) 0 in
+  let cur = ref base and blk = ref 0 in
+  let regions =
+    Array.of_list
+      (List.map
+         (fun s ->
+           let r =
+             {
+               r_name = s.rs_name;
+               r_base = !cur;
+               r_size = s.rs_size;
+               r_block = s.rs_block;
+               r_shift = log2 s.rs_block;
+               r_first_block = !blk;
+               r_n_blocks = s.rs_size / s.rs_block;
+             }
+           in
+           cur := !cur + s.rs_size;
+           blk := !blk + r.r_n_blocks;
+           r)
+         specs)
+  in
+  Array.iteri
+    (fun ri r ->
+      for b = 0 to r.r_n_blocks - 1 do
+        let id = r.r_first_block + b in
+        block_base.(id) <- r.r_base + (b * r.r_block);
+        block_len.(id) <- r.r_block;
+        block_region.(id) <- ri;
+        let c0 = (block_base.(id) - base) lsr chunk_shift in
+        for c = c0 to c0 + (r.r_block lsr chunk_shift) - 1 do
+          chunk_block.(c) <- id
+        done
+      done)
+    regions;
+  { base; size; chunk; chunk_shift; regions; chunk_block; block_base; block_len; block_region }
+
+let uniform ?(name = "shared") ~base ~size ~block () =
+  create ~base ~size [ { rs_name = name; rs_size = size; rs_block = block } ]
+
+let base t = t.base
+let size t = t.size
+let chunk t = t.chunk
+let n_blocks t = Array.length t.block_base
+let n_regions t = Array.length t.regions
+let contains t addr = addr >= t.base && addr < t.base + t.size
+
+let block_of_addr t addr =
+  let off = addr - t.base in
+  if off < 0 || off >= t.size then
+    bad "address 0x%x outside the shared region" addr;
+  t.chunk_block.(off lsr t.chunk_shift)
+
+let block_base t b = t.block_base.(b)
+let block_len t b = t.block_len.(b)
+let block_region t b = t.block_region.(b)
+let valid_block t b = b >= 0 && b < Array.length t.block_base
+
+let region t ri = t.regions.(ri)
+let region_name t ri = t.regions.(ri).r_name
+let region_block t ri = t.regions.(ri).r_block
+let region_bounds t ri = (t.regions.(ri).r_base, t.regions.(ri).r_size)
+
+(** [region_matching t ~block] is the index of the region whose block
+    size best matches a [?granularity] allocation hint: an exact match
+    if one exists, otherwise the region closest in log2 distance
+    (ties broken towards the earlier region).  Always succeeds — with
+    a uniform layout every hint degrades to region 0. *)
+let region_matching t ~block =
+  let want = log2 (max 1 block) in
+  let best = ref 0 and best_d = ref max_int in
+  Array.iteri
+    (fun i r ->
+      let d = abs (r.r_shift - want) in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    t.regions;
+  !best
+
+(** [iter_range t ~addr ~len f] applies [f] to every block id whose
+    extent overlaps [addr, addr+len). *)
+let iter_range t ~addr ~len f =
+  if len > 0 then begin
+    let b0 = block_of_addr t addr and b1 = block_of_addr t (addr + len - 1) in
+    for b = b0 to b1 do
+      f b
+    done
+  end
+
+let blocks_of_range t ~addr ~len =
+  let acc = ref [] in
+  iter_range t ~addr ~len (fun b -> acc := b :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Spec parser, mirroring Fault.Plan.of_spec: either a bare block size
+   ("256" = uniform), or comma-separated [NAME=]SIZE:BLOCK regions
+   where SIZE accepts k/m suffixes and a final "*" takes the rest of
+   the segment: "fine=1m:64,bulk=*:512". *)
+
+let size_of s ~remaining =
+  match String.lowercase_ascii (String.trim s) with
+  | "*" -> remaining
+  | t -> (
+      let mult, digits =
+        match t.[String.length t - 1] with
+        | 'k' -> (1024, String.sub t 0 (String.length t - 1))
+        | 'm' -> (1024 * 1024, String.sub t 0 (String.length t - 1))
+        | _ -> (1, t)
+      in
+      match int_of_string_opt digits with
+      | Some n -> n * mult
+      | None -> bad "Layout.of_spec: bad size %S" s)
+
+(** [specs_of_spec ~size spec] — parse a region-spec string into the
+    list [Config.regions] wants; [size] resolves '*' and validates
+    coverage only at {!create} time. *)
+let specs_of_spec ~size spec =
+  let spec = String.trim spec in
+  if spec = "" then bad "Layout.of_spec: empty spec";
+  match int_of_string_opt spec with
+  | Some block -> [ { rs_name = "shared"; rs_size = size; rs_block = block } ]
+  | None ->
+      let parts = String.split_on_char ',' spec in
+      let n = List.length parts in
+      let used = ref 0 in
+      let specs =
+        List.mapi
+          (fun i part ->
+            let part = String.trim part in
+            let name, body =
+              match String.index_opt part '=' with
+              | Some eq ->
+                  ( String.sub part 0 eq,
+                    String.sub part (eq + 1) (String.length part - eq - 1) )
+              | None -> (Printf.sprintf "region%d" i, part)
+            in
+            match String.split_on_char ':' body with
+            | [ sz; blk ] ->
+                let remaining = size - !used in
+                if sz = "*" && i <> n - 1 then
+                  bad "Layout.of_spec: '*' size is only valid for the last region";
+                let rs_size = size_of sz ~remaining in
+                let rs_block =
+                  match int_of_string_opt (String.trim blk) with
+                  | Some b -> b
+                  | None -> bad "Layout.of_spec: bad block size %S" blk
+                in
+                used := !used + rs_size;
+                { rs_name = name; rs_size; rs_block }
+            | _ -> bad "Layout.of_spec: expected [NAME=]SIZE:BLOCK, got %S" part)
+          parts
+      in
+      specs
+
+let of_spec ~base ~size spec = create ~base ~size (specs_of_spec ~size spec)
+
+let spec_help =
+  "BLOCK (uniform) or comma-separated [NAME=]SIZE:BLOCK regions; SIZE takes k/m \
+   suffixes, '*' (last region) takes the remainder, e.g. 'fine=1m:64,bulk=*:512'"
+
+let pp ppf t =
+  Format.fprintf ppf "layout: %d region(s), %d blocks, chunk %dB@." (n_regions t) (n_blocks t)
+    t.chunk;
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "  %-10s base 0x%x size %7d block %4d (%d blocks)@." r.r_name r.r_base
+        r.r_size r.r_block r.r_n_blocks)
+    t.regions

@@ -5,19 +5,28 @@
     of a node share one, so plain loads and stores between them behave
     like hardware shared memory.  The image also implements the lock-flag
     semantics of the Alpha LL/SC pair (Section 3.1.1): a store by any
-    {e other} process to a monitored line clears that monitor, as does an
-    invalidation's flag write. *)
+    {e other} process to a monitored block clears that monitor, as does an
+    invalidation's flag write.
 
-type monitor = { mon_pid : int; mon_line : int }
+    All extents come from the {!Layout}: a monitor covers one coherence
+    block, whose size depends on the region the address falls in. *)
+
+type monitor = { mon_pid : int; mon_block : int }
 
 type t = {
+  layout : Layout.t;
   base : int;
   data : Bytes.t;
-  line_size : int;
   mutable monitors : monitor list;
 }
 
-let create ~base ~size ~line_size = { base; data = Bytes.make size '\000'; line_size; monitors = [] }
+let create ~layout =
+  {
+    layout;
+    base = Layout.base layout;
+    data = Bytes.make (Layout.size layout) '\000';
+    monitors = [];
+  }
 
 (* Word-level write tracing: set SHASTA_DEBUG_ADDR=<hex or dec address>. *)
 let debug_addr =
@@ -27,7 +36,7 @@ let dbg_write t addr what v =
   if debug_addr >= 0 && addr <= debug_addr && debug_addr < addr + 8 then
     Format.eprintf "  [img %x] %s 0x%x <- %Ld@." (Hashtbl.hash t) what addr v
 
-let line_of t addr = (addr - t.base) / t.line_size
+let block_of t addr = Layout.block_of_addr t.layout addr
 
 let in_range t addr width =
   let off = addr - t.base in
@@ -44,86 +53,92 @@ let read t addr (w : Alpha.Insn.width) =
   | Alpha.Insn.W32 -> Int64.of_int32 (Bytes.get_int32_le t.data off)
   | Alpha.Insn.W64 -> Bytes.get_int64_le t.data off
 
-(* Clear other processes' monitors on the stored-to line. *)
-let break_monitors t ~line ~pid =
+(* Clear other processes' monitors on the stored-to block. *)
+let break_monitors t ~block ~pid =
   match t.monitors with
   | [] -> ()
-  | ms -> t.monitors <- List.filter (fun m -> m.mon_line <> line || m.mon_pid = pid) ms
+  | ms -> t.monitors <- List.filter (fun m -> m.mon_block <> block || m.mon_pid = pid) ms
 
 let write ?(pid = -1) t addr (w : Alpha.Insn.width) v =
   check t addr (Alpha.Insn.bytes_of_width w);
   dbg_write t addr (Printf.sprintf "write(pid%d)" pid) v;
   let off = addr - t.base in
-  break_monitors t ~line:(line_of t addr) ~pid;
+  break_monitors t ~block:(block_of t addr) ~pid;
   match w with
   | Alpha.Insn.W32 -> Bytes.set_int32_le t.data off (Int64.to_int32 v)
   | Alpha.Insn.W64 -> Bytes.set_int64_le t.data off v
 
 (** [ll t ~pid addr w] performs a load-locked: reads and arms [pid]'s
-    monitor on the line. *)
+    monitor on the block. *)
 let ll t ~pid addr w =
-  let line = line_of t addr in
-  t.monitors <- { mon_pid = pid; mon_line = line } :: List.filter (fun m -> m.mon_pid <> pid) t.monitors;
+  let block = block_of t addr in
+  t.monitors <-
+    { mon_pid = pid; mon_block = block } :: List.filter (fun m -> m.mon_pid <> pid) t.monitors;
   read t addr w
 
 (** [monitor_armed t ~pid addr] — is [pid]'s LL monitor still armed on
-    [addr]'s line?  Consulted when a protocol-path store-conditional is
+    [addr]'s block?  Consulted when a protocol-path store-conditional is
     granted by the home: if an intervening data write or invalidation
     broke the monitor, the SC fails spuriously (which the Alpha
     architecture permits) rather than complete against stale data. *)
 let monitor_armed t ~pid addr =
-  let line = line_of t addr in
-  List.exists (fun m -> m.mon_pid = pid && m.mon_line = line) t.monitors
+  let block = block_of t addr in
+  List.exists (fun m -> m.mon_pid = pid && m.mon_block = block) t.monitors
 
 (** [sc t ~pid addr w v] performs a store-conditional: succeeds iff
-    [pid]'s monitor on the line is still armed.  Always disarms. *)
+    [pid]'s monitor on the block is still armed.  Always disarms. *)
 let sc t ~pid addr w v =
-  let line = line_of t addr in
-  let armed = List.exists (fun m -> m.mon_pid = pid && m.mon_line = line) t.monitors in
+  let block = block_of t addr in
+  let armed = List.exists (fun m -> m.mon_pid = pid && m.mon_block = block) t.monitors in
   t.monitors <- List.filter (fun m -> m.mon_pid <> pid) t.monitors;
   if armed then write ~pid t addr w v;
   armed
 
-(** [write_flags t ~flag32 ~line] stores the invalid-flag value into
-    every 4-byte word of [line] (Section 2.2).  Breaks monitors. *)
-let write_flags t ~flag32 ~line =
+(** [write_flags_range t ~flag32 ~addr ~len] stores the invalid-flag
+    value into every 4-byte word of [addr, addr+len), breaking monitors
+    on every touched block.  The extent need not respect block
+    boundaries — the [Wrong_block_extent] mutation relies on that. *)
+let write_flags_range t ~flag32 ~addr ~len =
   (if debug_addr >= 0 then
-     let off = debug_addr - t.base in
-     if off >= line * t.line_size && off < (line + 1) * t.line_size then
+     if debug_addr >= addr && debug_addr < addr + len then
        dbg_write t debug_addr "write_flags" 0L);
-  let off = line * t.line_size in
-  for w = 0 to (t.line_size / 4) - 1 do
+  check t addr len;
+  let off = addr - t.base in
+  for w = 0 to (len / 4) - 1 do
     Bytes.set_int32_le t.data (off + (4 * w)) flag32
   done;
-  break_monitors t ~line ~pid:(-1)
+  Layout.iter_range t.layout ~addr ~len (fun b -> break_monitors t ~block:b ~pid:(-1))
 
-(** [read_block t ~line ~lines] copies the [lines]-line block starting at
-    [line] out of the image. *)
-let read_block t ~line ~lines =
-  let len = lines * t.line_size in
-  Bytes.sub t.data (line * t.line_size) len
+(** [write_flags t ~flag32 ~block] stores the invalid-flag value into
+    every 4-byte word of [block] (Section 2.2).  Breaks monitors. *)
+let write_flags t ~flag32 ~block =
+  write_flags_range t ~flag32
+    ~addr:(Layout.block_base t.layout block)
+    ~len:(Layout.block_len t.layout block)
 
-(** [write_block t ~line data] copies block data into the image (a fetch
-    reply or a writeback).  Monitors are broken only on lines whose
-    content actually changes: a cache fill that brings back identical
-    data does not clear a hardware lock flag, and breaking monitors on
-    every fill livelocks contended LL/SC loops (every contender's fetch
-    would spuriously fail every sibling's SC). *)
-let write_block t ~line data =
+(** [read_block t ~block] copies [block]'s extent out of the image. *)
+let read_block t ~block =
+  Bytes.sub t.data (Layout.block_base t.layout block - t.base) (Layout.block_len t.layout block)
+
+(** [write_block t ~block data] copies block data into the image (a fetch
+    reply or a writeback).  The monitor is broken only when the content
+    actually changes: a cache fill that brings back identical data does
+    not clear a hardware lock flag, and breaking monitors on every fill
+    livelocks contended LL/SC loops (every contender's fetch would
+    spuriously fail every sibling's SC). *)
+let write_block t ~block data =
+  let len = Layout.block_len t.layout block in
+  if Bytes.length data <> len then
+    invalid_arg
+      (Printf.sprintf "Memimg.write_block: %d bytes for a %d-byte block" (Bytes.length data) len);
+  let dst_off = Layout.block_base t.layout block - t.base in
   (if debug_addr >= 0 then
      let off = debug_addr - t.base in
-     if off >= line * t.line_size && off < (line * t.line_size) + Bytes.length data then
-       dbg_write t debug_addr "write_block" (Bytes.get_int64_le data (off - (line * t.line_size))));
-  let lines = Bytes.length data / t.line_size in
-  for l = 0 to lines - 1 do
-    let dst_off = (line + l) * t.line_size in
-    let changed =
-      not (Bytes.equal (Bytes.sub data (l * t.line_size) t.line_size)
-             (Bytes.sub t.data dst_off t.line_size))
-    in
-    Bytes.blit data (l * t.line_size) t.data dst_off t.line_size;
-    if changed then break_monitors t ~line:(line + l) ~pid:(-1)
-  done
+     if off >= dst_off && off < dst_off + len then
+       dbg_write t debug_addr "write_block" (Bytes.get_int64_le data (off - dst_off)));
+  let changed = not (Bytes.equal data (Bytes.sub t.data dst_off len)) in
+  Bytes.blit data 0 t.data dst_off len;
+  if changed then break_monitors t ~block ~pid:(-1)
 
 (** [word_is_flag t ~flag32 addr] tests whether the aligned 4-byte word
     at [addr] currently holds the flag value. *)
@@ -138,10 +153,8 @@ let blit_out t ~addr ~len buf off =
   Bytes.blit t.data (addr - t.base) buf off len
 
 (** [blit_in t ~addr buf off len] — copy bytes into the image, breaking
-    LL monitors on every touched line. *)
+    LL monitors on every touched block. *)
 let blit_in t ~addr buf off len =
   check t addr len;
   Bytes.blit buf off t.data (addr - t.base) len;
-  for l = line_of t addr to line_of t (addr + len - 1) do
-    break_monitors t ~line:l ~pid:(-1)
-  done
+  Layout.iter_range t.layout ~addr ~len (fun b -> break_monitors t ~block:b ~pid:(-1))

@@ -86,8 +86,8 @@ let transfer ~shared_base (s : state) (insn : Alpha.Insn.t) =
   | Alpha.Insn.Cvt_if _ | Alpha.Insn.Fmov _ | Alpha.Insn.St _ | Alpha.Insn.Mb
   | Alpha.Insn.Br _ | Alpha.Insn.Bcond _ | Alpha.Insn.Ret | Alpha.Insn.Halt
   | Alpha.Insn.Load_check _ | Alpha.Insn.Store_check _ | Alpha.Insn.Batch_check _
-  | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ | Alpha.Insn.Mb_check | Alpha.Insn.Poll
-  | Alpha.Insn.Prefetch_excl _ | Alpha.Insn.Label _ ->
+  | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ | Alpha.Insn.Gran_lookup _
+  | Alpha.Insn.Mb_check | Alpha.Insn.Poll | Alpha.Insn.Prefetch_excl _ | Alpha.Insn.Label _ ->
       ()
 
 (** [analyze ~shared_base cfg] computes, for every instruction index, the

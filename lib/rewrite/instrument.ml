@@ -27,6 +27,10 @@ type options = {
   transform_ll_sc : bool;
   prefetch_ll_sc : bool;
   mb_checks : bool;
+  granularity_table : bool;
+      (** layouts with mixed block sizes: state-table checks are
+          preceded by a block-number table lookup (Section 2.1); flag
+          loads are unaffected (the flag is read from the data itself) *)
 }
 
 let default_options =
@@ -38,6 +42,7 @@ let default_options =
     transform_ll_sc = true;
     prefetch_ll_sc = true;
     mb_checks = true;
+    granularity_table = false;
   }
 
 type stats = {
@@ -53,6 +58,7 @@ type stats = {
   mutable mb_checks_inserted : int;
   mutable llsc_pairs : int;
   mutable prefetches : int;
+  mutable gran_lookups : int;
 }
 
 let empty_stats () =
@@ -69,6 +75,7 @@ let empty_stats () =
     mb_checks_inserted = 0;
     llsc_pairs = 0;
     prefetches = 0;
+    gran_lookups = 0;
   }
 
 (** [code_growth s] is the fractional static code-size increase,
@@ -139,6 +146,16 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
   let post = Array.make n [] in
   let pairs = if options.transform_ll_sc then find_llsc_pairs code else [] in
   let in_llsc_range i = List.exists (fun (a, b, _, _, _, _) -> i > a && i <= b) pairs in
+  (* With mixed block sizes a state-table check must first look up the
+     block number: [gran off base] is that table-load sequence (or
+     nothing under a uniform layout, where a shift suffices). *)
+  let gran off base =
+    if options.granularity_table then begin
+      stats.gran_lookups <- stats.gran_lookups + 1;
+      [ Alpha.Insn.Gran_lookup (off, base) ]
+    end
+    else []
+  in
   (* Pass 1: decide per-access checks. *)
   let checks : (int, check) Hashtbl.t = Hashtbl.create 16 in
   let cls_at i r = before.(i).(r) in
@@ -183,9 +200,9 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
     | Alpha.Insn.Ll (_, _, off, base) ->
         (* LL always needs a readable line; the check also records the
            observed state for the following SC. *)
-        pre.(i) <- pre.(i) @ [ Alpha.Insn.Ll_check (off, base) ]
+        pre.(i) <- pre.(i) @ gran off base @ [ Alpha.Insn.Ll_check (off, base) ]
     | Alpha.Insn.Sc (w, r, off, base) ->
-        pre.(i) <- pre.(i) @ [ Alpha.Insn.Sc_check (w, r, off, base) ]
+        pre.(i) <- pre.(i) @ gran off base @ [ Alpha.Insn.Sc_check (w, r, off, base) ]
     | Alpha.Insn.Mb ->
         if options.mb_checks then begin
           post.(i) <- post.(i) @ [ Alpha.Insn.Mb_check ];
@@ -209,7 +226,11 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
               let entries = List.map snd members in
               (* Drop the individual checks; install one batch check. *)
               List.iter (fun (idx, _) -> Hashtbl.remove checks idx) members;
-              pre.(first_idx) <- pre.(first_idx) @ [ Alpha.Insn.Batch_check entries ];
+              let e0 = List.hd entries in
+              pre.(first_idx) <-
+                pre.(first_idx)
+                @ gran e0.Alpha.Insn.b_off e0.Alpha.Insn.b_base
+                @ [ Alpha.Insn.Batch_check entries ];
               stats.batches <- stats.batches + 1;
               stats.batched_accesses <- stats.batched_accesses + List.length members);
           run := [];
@@ -253,8 +274,11 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
     (fun i chk ->
       match chk with
       | After_load (w, d, off, base) -> post.(i) <- Alpha.Insn.Load_check (w, d, off, base) :: post.(i)
-      | Before_state e -> pre.(i) <- Alpha.Insn.Batch_check [ e ] :: pre.(i)
-      | Before_store (w, off, base) -> pre.(i) <- Alpha.Insn.Store_check (w, off, base) :: pre.(i))
+      | Before_state e ->
+          pre.(i) <-
+            gran e.Alpha.Insn.b_off e.Alpha.Insn.b_base @ (Alpha.Insn.Batch_check [ e ] :: pre.(i))
+      | Before_store (w, off, base) ->
+          pre.(i) <- gran off base @ (Alpha.Insn.Store_check (w, off, base) :: pre.(i)))
     checks;
   (* Pass 3: polls at loop backedges.  A poll must not sit in the
      LL->SC success path (Section 3.1.2), so for backedges inside an

@@ -10,6 +10,16 @@
     process "remains alive and continues to serve requests for its
     protocol and application data". *)
 
+(* One bump cursor per layout region, with fragmentation accounting:
+   [ra_used] counts cursor advance (data + alignment padding), so
+   [ra_used - ra_requested] is the padding lost to block alignment. *)
+type region_alloc = {
+  mutable ra_next : int;
+  mutable ra_requested : int;
+  mutable ra_used : int;
+  mutable ra_allocs : int;
+}
+
 type t = {
   cfg : Config.t;
   net : Mchan.Net.t;
@@ -18,7 +28,7 @@ type t = {
   mutable procs : (Sim.Proc.t * Runtime.t) list;
   mutable n_app : int;
   done_count : int ref;
-  mutable alloc_next : int;
+  allocs : region_alloc array;
   mutable initialized : bool;
   mutable started_at : float;
 }
@@ -30,6 +40,7 @@ let create cfg =
   in
   let peng = Protocol.Engine.create ~cfg:cfg.Config.protocol ~net in
   let sync = Sync.create ~net ~costs:cfg.Config.protocol.Protocol.Config.costs in
+  let layout = Protocol.Engine.layout peng in
   {
     cfg;
     net;
@@ -38,7 +49,10 @@ let create cfg =
     procs = [];
     n_app = 0;
     done_count = ref 0;
-    alloc_next = cfg.Config.protocol.Protocol.Config.shared_base;
+    allocs =
+      Array.init (Protocol.Layout.n_regions layout) (fun ri ->
+          let r = Protocol.Layout.region layout ri in
+          { ra_next = r.Protocol.Layout.r_base; ra_requested = 0; ra_used = 0; ra_allocs = 0 });
     initialized = false;
     started_at = 0.0;
   }
@@ -47,16 +61,44 @@ let sim t = Mchan.Net.engine t.net
 let now t = Sim.Engine.now (sim t)
 let protocol_engine t = t.peng
 
-(** [alloc t ?align bytes] — bump allocator over the shared region (the
-    equivalent of the application's shared heap). *)
-let alloc ?(align = 64) t bytes =
-  let a = (t.alloc_next + align - 1) / align * align in
-  let limit =
-    t.cfg.Config.protocol.Protocol.Config.shared_base
-    + t.cfg.Config.protocol.Protocol.Config.shared_size
+exception Out_of_shared of { requested : int; region : string }
+
+let () =
+  Printexc.register_printer (function
+    | Out_of_shared { requested; region } ->
+        Some
+          (Printf.sprintf "Shasta.Cluster.Out_of_shared (%d bytes in region %S)" requested
+             region)
+    | _ -> None)
+
+(** [alloc t ?align ?granularity bytes] — bump allocator over the shared
+    address space, one cursor per layout region.
+
+    [granularity] is a hint in bytes: the allocation is placed in the
+    region whose coherence block size is closest to it (exact match
+    preferred), so callers ask for fine blocks for locks and task queues
+    and coarse blocks for bulk arrays without knowing the layout.
+    Without a hint the first region is used.  The default alignment is
+    the chosen region's block size, so no allocation straddles a
+    coherence block it doesn't fully occupy.  Raises {!Out_of_shared}
+    when the region's remaining space cannot hold the request. *)
+let alloc ?align ?granularity t bytes =
+  let layout = Protocol.Engine.layout t.peng in
+  let ri =
+    match granularity with
+    | None -> 0
+    | Some g -> Protocol.Layout.region_matching layout ~block:g
   in
-  if a + bytes > limit then failwith "Cluster.alloc: shared region exhausted";
-  t.alloc_next <- a + bytes;
+  let r = Protocol.Layout.region layout ri in
+  let ra = t.allocs.(ri) in
+  let align = match align with Some a -> a | None -> r.Protocol.Layout.r_block in
+  let a = (ra.ra_next + align - 1) / align * align in
+  if a + bytes > r.Protocol.Layout.r_base + r.Protocol.Layout.r_size then
+    raise (Out_of_shared { requested = bytes; region = r.Protocol.Layout.r_name });
+  ra.ra_requested <- ra.ra_requested + bytes;
+  ra.ra_used <- ra.ra_used + (a + bytes - ra.ra_next);
+  ra.ra_allocs <- ra.ra_allocs + 1;
+  ra.ra_next <- a + bytes;
   a
 
 let pulse_all t =
@@ -128,6 +170,26 @@ let pp_fault_report ppf t =
   match reliable t with
   | None -> ()
   | Some r -> Format.fprintf ppf "%a@." Mchan.Reliable.pp_report r
+
+(** [pp_layout_report ppf t] — per-region coherence counters (misses,
+    invalidations, recalls, data traffic) followed by the shared-heap
+    allocator's fragmentation figures ([frag%] is alignment padding as a
+    share of the bytes consumed). *)
+let pp_layout_report ppf t =
+  Protocol.Engine.pp_layout_report ppf t.peng;
+  let layout = Protocol.Engine.layout t.peng in
+  Format.fprintf ppf "  %-10s %8s %10s %10s %6s@." "region" "allocs" "requested" "used"
+    "frag%";
+  for ri = 0 to Protocol.Layout.n_regions layout - 1 do
+    let r = Protocol.Layout.region layout ri in
+    let ra = t.allocs.(ri) in
+    let frag =
+      if ra.ra_used = 0 then 0.0
+      else 100.0 *. float_of_int (ra.ra_used - ra.ra_requested) /. float_of_int ra.ra_used
+    in
+    Format.fprintf ppf "  %-10s %8d %10d %10d %5.1f%%@." r.Protocol.Layout.r_name ra.ra_allocs
+      ra.ra_requested ra.ra_used frag
+  done
 
 let runtimes t = List.rev_map snd t.procs
 

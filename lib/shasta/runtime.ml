@@ -108,6 +108,10 @@ let trace_access h ~store addr w v =
         }
 let is_shared h addr = Protocol.Config.is_shared h.cfg.Config.protocol addr
 
+(** [layout h] — the region layout of the shared address space (block
+    extents vary by region; consumers must not assume a fixed line). *)
+let layout h = E.layout h.peng
+
 (* --- private memory --- *)
 
 let private_read h addr (w : Alpha.Insn.width) =
@@ -157,7 +161,7 @@ let store h addr w v =
       charge_cycles h
         (h.cfg.Config.checks.Config.access_cycles + h.cfg.Config.checks.Config.store_check_cycles)
     else charge_cycles h h.cfg.Config.checks.Config.access_cycles;
-    (match E.line_state h.pcb addr with
+    (match E.block_state h.pcb addr with
     | Protocol.Ptypes.Exclusive, _ -> ()
     | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
         in_protocol h (fun () -> E.store_miss h.pcb addr));
@@ -191,7 +195,7 @@ let store_batched h addr w v =
   charge_cycles h (h.cfg.Config.checks.Config.access_cycles + if h.cfg.Config.checks_enabled then 1 else 0);
   if not (is_shared h addr) then private_write h addr w v
   else begin
-    (match E.line_state h.pcb addr with
+    (match E.block_state h.pcb addr with
     | Protocol.Ptypes.Exclusive, _ -> ()
     | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
         in_protocol h (fun () -> E.store_miss h.pcb addr));
@@ -229,7 +233,7 @@ let mb h =
 let batch_fast_path h accesses =
   List.for_all
     (fun (addr, _w, kind) ->
-      match E.line_state h.pcb addr with
+      match E.block_state h.pcb addr with
       | Protocol.Ptypes.Exclusive, _ -> true
       | Protocol.Ptypes.Shared, _ -> kind = Alpha.Insn.Load_acc
       | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Pending), _ -> false)
@@ -434,7 +438,7 @@ let alpha_runtime h =
     store_check =
       (fun addr _w ->
         if is_shared h addr then
-          match E.line_state h.pcb addr with
+          match E.block_state h.pcb addr with
           | Protocol.Ptypes.Exclusive, _ -> ()
           | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
               in_protocol h (fun () -> E.store_miss h.pcb addr));

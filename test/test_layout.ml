@@ -1,0 +1,126 @@
+(* Property tests for the region layout layer (Section 2.1).
+
+   A random layout is an ordered list of 1-5 regions with power-of-two
+   block sizes in 32..4096 and sizes that are small multiples of the
+   block; the properties pin down the address map the whole protocol
+   depends on:
+
+   - block_of_addr / block_base / block_len round-trip: every address
+     falls inside the extent of the block it maps to;
+   - the blocks tile the segment exactly — no gaps, no overlap;
+   - a region boundary never splits a block;
+   - with a single uniform 64-byte region, block_of_addr is
+     bit-identical to the historical fixed-line map (addr - base) / 64. *)
+
+module L = Protocol.Layout
+
+let base = 0x40000000
+
+let spec_gen =
+  QCheck.Gen.(
+    let region =
+      let* shift = int_range 5 12 in
+      let block = 1 lsl shift in
+      let* mult = int_range 1 8 in
+      return { L.rs_name = "r"; rs_size = mult * block; rs_block = block }
+    in
+    let* n = int_range 1 5 in
+    let* specs = list_size (return n) region in
+    return (List.mapi (fun i s -> { s with L.rs_name = Printf.sprintf "r%d" i }) specs))
+
+let print_specs specs =
+  String.concat ","
+    (List.map (fun s -> Printf.sprintf "%s=%d:%d" s.L.rs_name s.L.rs_size s.L.rs_block) specs)
+
+let arb_specs = QCheck.make ~print:print_specs spec_gen
+
+let layout_of specs =
+  let size = List.fold_left (fun a s -> a + s.L.rs_size) 0 specs in
+  L.create ~base ~size specs
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"block_of_addr round-trips through the block extent" ~count:300
+    arb_specs (fun specs ->
+      let t = layout_of specs in
+      let ok = ref true in
+      for addr = base to base + L.size t - 1 do
+        let b = L.block_of_addr t addr in
+        let lo = L.block_base t b and len = L.block_len t b in
+        if not (L.valid_block t b && addr >= lo && addr < lo + len) then ok := false
+      done;
+      !ok)
+
+let qcheck_exact_tiling =
+  QCheck.Test.make ~name:"blocks tile the segment exactly" ~count:300 arb_specs (fun specs ->
+      let t = layout_of specs in
+      (* Walking block extents from [base] must visit every block id
+         once, in order, and land exactly on the end of the segment. *)
+      let addr = ref base and b = ref 0 in
+      let ok = ref true in
+      while !addr < base + L.size t do
+        if L.block_of_addr t !addr <> !b || L.block_base t !b <> !addr then ok := false;
+        addr := !addr + L.block_len t !b;
+        incr b
+      done;
+      !ok && !b = L.n_blocks t && !addr = base + L.size t)
+
+let qcheck_no_boundary_split =
+  QCheck.Test.make ~name:"region boundaries never split a block" ~count:300 arb_specs
+    (fun specs ->
+      let t = layout_of specs in
+      let ok = ref true in
+      for ri = 0 to L.n_regions t - 1 do
+        let r_base, r_size = L.region_bounds t ri in
+        (* First and last byte of the region must map to blocks wholly
+           inside it. *)
+        let b0 = L.block_of_addr t r_base and b1 = L.block_of_addr t (r_base + r_size - 1) in
+        if L.block_base t b0 <> r_base then ok := false;
+        if L.block_base t b1 + L.block_len t b1 <> r_base + r_size then ok := false;
+        if L.block_region t b0 <> ri || L.block_region t b1 <> ri then ok := false
+      done;
+      !ok)
+
+let qcheck_uniform64_pin =
+  QCheck.Test.make ~name:"uniform 64B layout matches the fixed-line map" ~count:300
+    QCheck.(pair (int_range 1 64) small_nat)
+    (fun (lines, off) ->
+      let size = 64 * lines in
+      let t = L.uniform ~base ~size ~block:64 () in
+      let addr = base + (off mod size) in
+      let b = L.block_of_addr t addr in
+      b = (addr - base) / 64
+      && L.block_base t b = base + (64 * b)
+      && L.block_len t b = 64
+      && L.n_blocks t = lines)
+
+(* Spec-string parser: the CLI syntax round-trips into the same layout. *)
+let test_spec_parse () =
+  let size = 1024 * 1024 in
+  let specs = L.specs_of_spec ~size "fine=64k:64,bulk=*:512" in
+  (match specs with
+  | [ a; b ] ->
+      Alcotest.(check string) "name" "fine" a.L.rs_name;
+      Alcotest.(check int) "fine size" (64 * 1024) a.L.rs_size;
+      Alcotest.(check int) "fine block" 64 a.L.rs_block;
+      Alcotest.(check string) "name" "bulk" b.L.rs_name;
+      Alcotest.(check int) "star takes remainder" (size - (64 * 1024)) b.L.rs_size;
+      Alcotest.(check int) "bulk block" 512 b.L.rs_block
+  | l -> Alcotest.failf "expected 2 regions, got %d" (List.length l));
+  let uni = L.specs_of_spec ~size "256" in
+  (match uni with
+  | [ r ] ->
+      Alcotest.(check int) "uniform covers segment" size r.L.rs_size;
+      Alcotest.(check int) "uniform block" 256 r.L.rs_block
+  | l -> Alcotest.failf "expected 1 region, got %d" (List.length l));
+  Alcotest.check_raises "bad block size rejected"
+    (Invalid_argument "Layout: region 0 (shared): block size 48 is not a power of two")
+    (fun () -> ignore (L.of_spec ~base ~size "48"))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_exact_tiling;
+    QCheck_alcotest.to_alcotest qcheck_no_boundary_split;
+    QCheck_alcotest.to_alcotest qcheck_uniform64_pin;
+    Alcotest.test_case "spec string parsing" `Quick test_spec_parse;
+  ]

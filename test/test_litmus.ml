@@ -119,7 +119,7 @@ let test_mutations_caught () =
         Alcotest.failf "mutation %s escaped %d runs" r.M.m_label r.M.m_runs)
     reports;
   Alcotest.(check bool) "all mutations caught" true (M.all_caught reports);
-  Alcotest.(check int) "all four mutations exercised" 4 (List.length reports)
+  Alcotest.(check int) "all five mutations exercised" 5 (List.length reports)
 
 (* --- the checking layers must not perturb the simulation ---------- *)
 

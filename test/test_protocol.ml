@@ -17,7 +17,7 @@ type world = {
 }
 
 let setup ?(variant = P.Config.Smp) ?(model = P.Config.Rc) ?(direct_downgrade = true)
-    ?(nodes = 2) ?(cpus = 2) () =
+    ?(nodes = 2) ?(cpus = 2) ?(regions = []) ?mutation () =
   let netcfg = { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node = cpus } in
   let net = Mchan.Net.create netcfg in
   let cfg =
@@ -26,6 +26,8 @@ let setup ?(variant = P.Config.Smp) ?(model = P.Config.Rc) ?(direct_downgrade = 
       P.Config.variant;
       model;
       direct_downgrade;
+      regions;
+      mutation;
       shared_size = 64 * 1024;
     }
   in
@@ -79,7 +81,7 @@ let sload pcb addr =
   if v = flag64 then E.load_miss pcb addr Alpha.Insn.W64 else v
 
 let sstore pcb addr v =
-  (match E.line_state pcb addr with
+  (match E.block_state pcb addr with
   | P.Ptypes.Exclusive, _ -> ()
   | (P.Ptypes.Invalid | P.Ptypes.Shared | P.Ptypes.Pending), _ -> E.store_miss pcb addr);
   E.raw_write pcb addr Alpha.Insn.W64 v
@@ -167,8 +169,8 @@ let test_recall_to_shared () =
   run w;
   Alcotest.(check int64) "owner still reads" 7L !r0;
   Alcotest.(check int64) "reader got dirty data" 7L !r1;
-  let s0, _ = E.line_state (Option.get !p0) a in
-  let s1, _ = E.line_state (Option.get !p1) a in
+  let s0, _ = E.block_state (Option.get !p0) a in
+  let s1, _ = E.block_state (Option.get !p1) a in
   let shared_or_better = function
     | P.Ptypes.Shared | P.Ptypes.Exclusive -> true
     | P.Ptypes.Invalid | P.Ptypes.Pending -> false
@@ -392,12 +394,19 @@ let test_batch_fetches_lines_in_parallel () =
     true
     (!batch_time < !serial_time *. 0.7)
 
+(* A mixed layout for the granularity tests: the lower half of the 64 KB
+   segment stays at 64-byte blocks, the upper half uses 256-byte blocks. *)
+let mixed_regions =
+  [
+    { P.Layout.rs_name = "fine"; rs_size = 32 * 1024; rs_block = 64 };
+    { P.Layout.rs_name = "coarse"; rs_size = 32 * 1024; rs_block = 256 };
+  ]
+
 let test_block_size_granularity () =
-  (* With a 4-line block, fetching one word brings the whole block. *)
-  let w = setup () in
+  (* In the 256-byte region, fetching one word brings the whole block. *)
+  let w = setup ~regions:mixed_regions () in
   let line = P.Config.default.P.Config.line_size in
-  let a = base + 32768 in
-  E.set_block_size w.eng ~addr:a ~len:(line * 4) ~lines:4;
+  let a = base + 32768 (* first block of the coarse region *) in
   let got = ref 0L in
   let misses = ref 0 in
   let reader = ref None in
@@ -417,7 +426,77 @@ let test_block_size_granularity () =
   E.init w.eng ~homes:[ 0 ];
   run w;
   Alcotest.(check int64) "whole block transferred" 4L !got;
-  Alcotest.(check int) "single miss for four lines" 1 !misses
+  Alcotest.(check int) "single miss for a 256-byte block" 1 !misses;
+  (* The same span in the fine region is four separate blocks. *)
+  let b0 = E.block_of_addr w.eng base in
+  Alcotest.(check int) "fine region: 64-byte extents" 64 (E.block_bytes w.eng b0);
+  let bc = E.block_of_addr w.eng a in
+  Alcotest.(check int) "coarse region: 256-byte extents" 256 (E.block_bytes w.eng bc);
+  Alcotest.(check int) "one block covers the four lines" bc
+    (E.block_of_addr w.eng (a + (3 * line)))
+
+let test_directory_sharer_bitmask () =
+  let d = P.Directory.create ~home_domain:2 in
+  let e = P.Directory.entry d 0 in
+  Alcotest.(check (list int)) "born with the home" [ 2 ] (P.Directory.sharers_list e);
+  P.Directory.add_sharer e 5;
+  P.Directory.add_sharer e 0;
+  P.Directory.add_sharer e 5;
+  Alcotest.(check (list int)) "insertion order, no duplicates" [ 0; 5; 2 ]
+    (P.Directory.sharers_list e);
+  Alcotest.(check bool) "is_sharer hit" true (P.Directory.is_sharer e 5);
+  Alcotest.(check bool) "is_sharer miss" false (P.Directory.is_sharer e 3);
+  P.Directory.remove_sharer e 2;
+  Alcotest.(check (list int)) "removal" [ 0; 5 ] (P.Directory.sharers_list e);
+  Alcotest.(check bool) "mask tracks removal" false (P.Directory.is_sharer e 2);
+  P.Directory.clear_sharers e;
+  Alcotest.(check bool) "cleared" true (P.Directory.no_sharers e);
+  Alcotest.check_raises "domain id too large for the mask"
+    (Invalid_argument
+       (Printf.sprintf "Directory: domain id %d outside 0..%d" (Sys.int_size - 1)
+          (Sys.int_size - 2)))
+    (fun () -> P.Directory.add_sharer e (Sys.int_size - 1))
+
+let test_wrong_block_extent_mutation_caught () =
+  (* The seeded bug writes flag words one chunk past the invalidated
+     block, corrupting the reader's Shared copy of the *next* block; the
+     per-block-extent invariants (family 4) must flag the divergence. *)
+  let w = setup ~mutation:P.Config.Wrong_block_extent () in
+  let a = base + 4096 in
+  let _ =
+    worker w ~cpu_i:2 (fun pcb ->
+        (* Hold both a's block and the next one Shared. *)
+        ignore (sload pcb a);
+        ignore (sload pcb (a + 64));
+        Sim.Proc.sleep 0.050)
+  in
+  let _ =
+    worker w ~cpu_i:0 (fun pcb ->
+        (* Keep polling (the home must serve the reader's fetches) until
+           they have long completed, so the spilled flags are not
+           overwritten by an in-flight data reply. *)
+        Sim.Proc.work 0.020;
+        (* Invalidates the reader's copy of a's block — and, through the
+           mutation, clobbers its copy of the next block too. *)
+        sstore pcb a 1L)
+  in
+  E.init w.eng ~homes:[ 0 ];
+  run w;
+  Alcotest.(check bool) "mutation fired" true (E.mutation_fires w.eng > 0);
+  let violations = E.check_quiescent w.eng in
+  Alcotest.(check bool)
+    (Printf.sprintf "extent violation detected (%s)" (String.concat "; " violations))
+    true
+    (List.exists
+       (fun v ->
+         (* The corrupted neighbour shows up as Shared-replica disagreement. *)
+         let has s sub =
+           let n = String.length sub in
+           let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         has v "disagree on Shared block")
+       violations)
 
 (* The Figure 2 litmus test: under the Alpha memory model the only
    allowed outcomes are (r1,r2) = (1,1) or (2,2): writes to A must be
@@ -513,7 +592,7 @@ let test_random_stress_convergence () =
     let values =
       List.filter_map
         (fun pcb ->
-          match E.line_state pcb (addr i) with
+          match E.block_state pcb (addr i) with
           | _, (P.Ptypes.Shared | P.Ptypes.Exclusive) ->
               Some (E.raw_read pcb (addr i) Alpha.Insn.W64)
           | _, (P.Ptypes.Invalid | P.Ptypes.Pending) -> None)
@@ -557,7 +636,7 @@ let test_batch_defers_invalidation_flags () =
         pcb.E.batch_blocks <- [ !block ];
         (* Wait for the remote write to invalidate us. *)
         Sim.Proc.stall (fun () ->
-            match E.line_state pcb a with _, P.Ptypes.Invalid -> true | _ -> false);
+            match E.block_state pcb a with _, P.Ptypes.Invalid -> true | _ -> false);
         value_mid := E.raw_read pcb a Alpha.Insn.W64;
         flag_mid := E.word_is_flag pcb a;
         pcb.E.in_batch <- false;
@@ -610,7 +689,7 @@ let test_batch_store_reissue () =
   let final =
     List.filter_map
       (fun pcb ->
-        match E.line_state pcb a with
+        match E.block_state pcb a with
         | _, (P.Ptypes.Shared | P.Ptypes.Exclusive) ->
             Some (E.raw_read pcb a Alpha.Insn.W64)
         | _, (P.Ptypes.Invalid | P.Ptypes.Pending) -> None)
@@ -637,6 +716,9 @@ let suite =
     Alcotest.test_case "MB drains stores" `Quick test_mb_drains_stores;
     Alcotest.test_case "batch parallel fetch" `Quick test_batch_fetches_lines_in_parallel;
     Alcotest.test_case "variable block size" `Quick test_block_size_granularity;
+    Alcotest.test_case "directory sharer bitmask" `Quick test_directory_sharer_bitmask;
+    Alcotest.test_case "wrong-block-extent mutation caught" `Quick
+      test_wrong_block_extent_mutation_caught;
     Alcotest.test_case "litmus: write serialization" `Quick test_litmus_write_serialization;
     Alcotest.test_case "random stress convergence" `Quick test_random_stress_convergence;
     Alcotest.test_case "home placement routes" `Quick test_home_placement_routes;

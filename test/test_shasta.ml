@@ -10,7 +10,7 @@ let read_valid cl addr =
   let values =
     List.filter_map
       (fun h ->
-        match Protocol.Engine.line_state h.R.pcb addr with
+        match Protocol.Engine.block_state h.R.pcb addr with
         | _, (Protocol.Ptypes.Shared | Protocol.Ptypes.Exclusive) ->
             Some (Protocol.Engine.raw_read h.R.pcb addr Alpha.Insn.W64)
         | _, (Protocol.Ptypes.Invalid | Protocol.Ptypes.Pending) -> None)
