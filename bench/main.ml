@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
    rewrite_time ablation micro faults checker granularity
-   granularity_smoke *)
+   granularity_smoke rce *)
 
 let experiments =
   [
@@ -25,6 +25,7 @@ let experiments =
     ("checker", Checker.run_checker);
     ("granularity", Granularity.run_granularity);
     ("granularity_smoke", Granularity.run_granularity_smoke);
+    ("rce", Rce.run_rce);
   ]
 
 let () =

@@ -1,6 +1,10 @@
-(* CLI: run the binary rewriter over a demo program and show the result.
+(* CLI: run the binary rewriter, the translation validator and the
+   redundant-check optimizer.
 
      dune exec bin/shasta_instrument.exe -- --program lock --no-batch
+     dune exec bin/shasta_instrument.exe -- --verify --lint-report lint.txt
+     dune exec bin/shasta_instrument.exe -- --optimize
+     dune exec bin/shasta_instrument.exe -- --mutants
 *)
 
 let demo_programs =
@@ -74,12 +78,70 @@ let demo_programs =
           ]) );
   ]
 
+(* Everything the lint job sweeps: the IR corpus (one kernel per
+   registry app + minidb) plus the demos above. *)
+let lint_targets () =
+  List.map
+    (fun (e : Apps.Ircorpus.entry) -> (e.Apps.Ircorpus.e_name, e.Apps.Ircorpus.e_program))
+    Apps.Ircorpus.all
+  @ List.map (fun (n, _, p) -> (n, p)) demo_programs
+
+(* Accumulate report text so --lint-report can save what was printed. *)
+let report_buf = Buffer.create 1024
+
+let out fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string report_buf s;
+      print_string s)
+    fmt
+
+let verify_mode ~options () =
+  out "translation validation (%s)\n\n" (if options.Rewrite.Instrument.redundant_elim then "optimized" else "default options");
+  let failures = ref 0 in
+  List.iter
+    (fun (name, prog) ->
+      let instrumented, stats = Rewrite.Instrument.instrument ~options prog in
+      let reports = Rewrite.Verify.verify instrumented in
+      let accesses = List.fold_left (fun a r -> a + r.Rewrite.Verify.r_accesses) 0 reports in
+      match Rewrite.Verify.diags reports with
+      | [] ->
+          out "%-12s OK    %3d shared accesses covered" name accesses;
+          if options.Rewrite.Instrument.redundant_elim then
+            out "  (%d checks eliminated, %d hoisted)" stats.Rewrite.Instrument.checks_eliminated
+              stats.Rewrite.Instrument.checks_hoisted;
+          out "\n"
+      | ds ->
+          incr failures;
+          out "%-12s FAIL  %d uncovered of %d accesses\n" name (List.length ds) accesses;
+          List.iter (fun d -> out "    %s\n" (Format.asprintf "%a" Rewrite.Verify.pp_diag d)) ds)
+    (lint_targets ());
+  !failures
+
+let mutants_mode () =
+  out "instrumenter-mutation sweep (validator must convict each family)\n\n";
+  let reports = Check.Mutation.hunt_instrumenter () in
+  List.iter (fun r -> out "%s\n" (Format.asprintf "%a" Check.Mutation.pp_ireport r)) reports;
+  if Check.Mutation.all_icaught reports then begin
+    out "\nall %d instrumenter mutations caught\n" (List.length reports);
+    0
+  end
+  else begin
+    out "\nsome instrumenter mutations were MISSED\n";
+    1
+  end
+
 let () =
   let name = ref "lock" in
   let batching = ref true in
   let flag_loads = ref true in
   let polls = ref true in
   let prefetch = ref true in
+  let redundant_elim = ref false in
+  let verify = ref false in
+  let optimize = ref false in
+  let mutants = ref false in
+  let lint_report = ref "" in
   let args =
     [
       ( "--program",
@@ -89,16 +151,14 @@ let () =
       ("--no-flag", Arg.Clear flag_loads, " state-table checks instead of the flag technique");
       ("--no-polls", Arg.Clear polls, " no loop-backedge polls");
       ("--no-prefetch", Arg.Clear prefetch, " no prefetch-exclusive before LL/SC loops");
+      ("--redundant-elim", Arg.Set redundant_elim, " inter-block redundant-check elimination + hoisting");
+      ("--verify", Arg.Set verify, " validate check coverage over the IR corpus + demos");
+      ("--optimize", Arg.Set optimize, " like --verify, with redundant_elim on (reports eliminated/hoisted)");
+      ("--mutants", Arg.Set mutants, " sweep seeded instrumenter mutations; the validator must catch all");
+      ("--lint-report", Arg.Set_string lint_report, "FILE also write the report to FILE");
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_instrument [options]";
-  let _, descr, prog =
-    match List.find_opt (fun (n, _, _) -> n = !name) demo_programs with
-    | Some p -> p
-    | None ->
-        Printf.eprintf "unknown program %S\n" !name;
-        exit 1
-  in
   let options =
     {
       Rewrite.Instrument.default_options with
@@ -106,7 +166,38 @@ let () =
       flag_loads = !flag_loads;
       polls = !polls;
       prefetch_ll_sc = !prefetch;
+      redundant_elim = !redundant_elim;
     }
+  in
+  let save_report () =
+    if !lint_report <> "" then begin
+      let oc = open_out !lint_report in
+      output_string oc (Buffer.contents report_buf);
+      close_out oc
+    end
+  in
+  if !verify || !optimize || !mutants then begin
+    let failures = ref 0 in
+    if !verify then failures := !failures + verify_mode ~options ();
+    if !optimize then begin
+      if !verify then out "\n";
+      failures :=
+        !failures
+        + verify_mode ~options:{ options with Rewrite.Instrument.redundant_elim = true } ()
+    end;
+    if !mutants then begin
+      if !verify || !optimize then out "\n";
+      failures := !failures + mutants_mode ()
+    end;
+    save_report ();
+    exit (if !failures > 0 then 1 else 0)
+  end;
+  let _, descr, prog =
+    match List.find_opt (fun (n, _, _) -> n = !name) demo_programs with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown program %S\n" !name;
+        exit 1
   in
   Printf.printf "program %S: %s\n\noriginal:\n" !name descr;
   List.iter
@@ -121,16 +212,4 @@ let () =
       Printf.printf "%s:\n" p.Alpha.Program.name;
       Array.iteri (fun i insn -> Format.printf "  %3d: %a@." i Alpha.Insn.pp insn) p.Alpha.Program.code)
     (Alpha.Program.procedures instrumented);
-  Printf.printf
-    "\nstatic statistics:\n\
-    \  code size: %d -> %d slots (+%.0f%%)\n\
-    \  load checks %d (flag technique), store checks %d, state-table checks via batch\n\
-    \  batches %d covering %d accesses, polls %d, LL/SC pairs %d, prefetches %d, MB checks %d\n\
-    \  accesses proved private (no check): %d\n"
-    stats.Rewrite.Instrument.orig_slots stats.Rewrite.Instrument.new_slots
-    (100.0 *. Rewrite.Instrument.code_growth stats)
-    stats.Rewrite.Instrument.loads_checked stats.Rewrite.Instrument.stores_checked
-    stats.Rewrite.Instrument.batches stats.Rewrite.Instrument.batched_accesses
-    stats.Rewrite.Instrument.polls_inserted stats.Rewrite.Instrument.llsc_pairs
-    stats.Rewrite.Instrument.prefetches stats.Rewrite.Instrument.mb_checks_inserted
-    stats.Rewrite.Instrument.accesses_private
+  Format.printf "\nper-pass statistics:@\n%a@." Rewrite.Instrument.pp_stats stats

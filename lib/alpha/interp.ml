@@ -17,6 +17,10 @@ type stats = {
   mutable polls : int;
   mutable mbs : int;
   mutable ll_sc : int;
+  mutable check_slots : int;
+      (** instruction slots spent in executed miss checks (load/store/
+          batch/LL/SC checks and granularity lookups) — the dynamic
+          checking-overhead axis of Tables 2/3 *)
 }
 
 type outcome = { r0 : int64; stats : stats }
@@ -42,7 +46,9 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
   let rset r v = if r <> 31 then regs.(r) <- v in
   let fget f = if f = 31 then 0.0 else fregs.(f) in
   let fset f v = if f <> 31 then fregs.(f) <- v in
-  let stats = { steps = 0; loads = 0; stores = 0; polls = 0; mbs = 0; ll_sc = 0 } in
+  let stats =
+    { steps = 0; loads = 0; stores = 0; polls = 0; mbs = 0; ll_sc = 0; check_slots = 0 }
+  in
   let acc_cycles = ref 0 in
   let flush () =
     if !acc_cycles > 0 then begin
@@ -51,6 +57,11 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
     end
   in
   let charge insn =
+    (match insn with
+    | Insn.Load_check _ | Insn.Store_check _ | Insn.Batch_check _ | Insn.Ll_check _
+    | Insn.Sc_check _ | Insn.Gran_lookup _ ->
+        stats.check_slots <- stats.check_slots + Insn.size_in_slots insn
+    | _ -> ());
     acc_cycles := !acc_cycles + Cost.cycles insn;
     if !acc_cycles >= flush_threshold then flush ()
   in

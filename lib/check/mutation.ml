@@ -62,6 +62,152 @@ let hunt ?(seeds = 64) ?(scenarios = Litmus.all) () =
 
 let all_caught reports = List.for_all (fun r -> r.m_caught <> None) reports
 
+(* --- instrumenter mutations ---
+
+   The protocol mutations above seed bugs in the coherence engine; these
+   seed bugs in the {e rewriter} output and ask the translation
+   validator ({!Rewrite.Verify}) to convict them statically — no run
+   needed.  Each mutation family has many possible sites per program;
+   the site index plays the role of the seed, and a family counts as
+   caught only when a site that actually changed the code (fired) draws
+   a diagnostic. *)
+
+type imutation =
+  | Drop_check  (** delete one check pseudo-instruction *)
+  | Wrong_width  (** narrow a 64-bit check guarding a 64-bit access to 32-bit *)
+  | Check_after_poll  (** swap an adjacent [Poll; check] pair — the pre-fix pass-3 ordering bug *)
+  | Wrong_batch_base  (** point one batch entry at the wrong base register *)
+
+let all_imutations =
+  [
+    (Drop_check, "drop-check");
+    (Wrong_width, "wrong-width");
+    (Check_after_poll, "check-after-poll");
+    (Wrong_batch_base, "wrong-batch-base");
+  ]
+
+let is_check = function
+  | Alpha.Insn.Load_check _ | Alpha.Insn.Store_check _ | Alpha.Insn.Batch_check _
+  | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ ->
+      true
+  | _ -> false
+
+(** [apply_imutation m ~site program] — rewrite the [site]-th applicable
+    site of an {e instrumented} program.  Returns the mutated program,
+    whether the mutation fired (a site matched), and the total number of
+    applicable sites (so callers can sweep them all). *)
+let apply_imutation m ~site (prog : Alpha.Program.t) =
+  let counter = ref (-1) in
+  let fired = ref false in
+  let hit () =
+    incr counter;
+    if !counter = site then begin
+      fired := true;
+      true
+    end
+    else false
+  in
+  let module I = Alpha.Insn in
+  let rec go insns =
+    match insns with
+    | [] -> []
+    | x :: rest -> (
+        match (m, x, rest) with
+        | Drop_check, x, _ when is_check x -> if hit () then go rest else x :: go rest
+        | Wrong_width, I.Load_check (I.W64, d, off, b), _ ->
+            if hit () then I.Load_check (I.W32, d, off, b) :: go rest else x :: go rest
+        | Wrong_width, I.Store_check (I.W64, off, b), _ ->
+            if hit () then I.Store_check (I.W32, off, b) :: go rest else x :: go rest
+        | Wrong_width, I.Sc_check (I.W64, r, off, b), _ ->
+            if hit () then I.Sc_check (I.W32, r, off, b) :: go rest else x :: go rest
+        | Wrong_width, I.Batch_check es, _
+          when List.exists (fun e -> e.I.b_width = I.W64) es ->
+            if hit () then begin
+              let narrowed = ref false in
+              let es' =
+                List.map
+                  (fun e ->
+                    if (not !narrowed) && e.I.b_width = I.W64 then begin
+                      narrowed := true;
+                      { e with I.b_width = I.W32 }
+                    end
+                    else e)
+                  es
+              in
+              I.Batch_check es' :: go rest
+            end
+            else x :: go rest
+        | Check_after_poll, I.Poll, c :: r2 when is_check c ->
+            if hit () then c :: I.Poll :: go r2 else x :: go rest
+        | Wrong_batch_base, I.Batch_check (e :: es), _ ->
+            if hit () then begin
+              let wrong = if e.I.b_base <> 1 then 1 else 2 in
+              I.Batch_check ({ e with I.b_base = wrong } :: es) :: go rest
+            end
+            else x :: go rest
+        | _ -> x :: go rest)
+  in
+  let prog' =
+    Alpha.Program.map_procedures prog (fun p -> go (Alpha.Program.to_insn_list p))
+  in
+  (prog', !fired, !counter + 1)
+
+type ireport = {
+  i_mutation : imutation;
+  i_label : string;
+  i_caught : (string * int) option;  (** [(kernel, site)] of the first conviction *)
+  i_fired : bool;
+  i_sites : int;  (** fired sites examined before the catch (or giving up) *)
+}
+
+(** [hunt_instrumenter ()] — for each instrumenter-mutation family,
+    sweep every applicable site of every instrumented corpus kernel
+    until the validator convicts one. *)
+let hunt_instrumenter ?(options = Rewrite.Instrument.default_options) () =
+  let corpus =
+    List.map
+      (fun (e : Apps.Ircorpus.entry) ->
+        let instrumented, _ = Rewrite.Instrument.instrument ~options e.Apps.Ircorpus.e_program in
+        (e.Apps.Ircorpus.e_name, instrumented))
+      Apps.Ircorpus.all
+  in
+  List.map
+    (fun (m, label) ->
+      let caught = ref None in
+      let fired = ref false in
+      let examined = ref 0 in
+      (try
+         List.iter
+           (fun (name, instrumented) ->
+             let _, _, nsites = apply_imutation m ~site:(-1) instrumented in
+             for site = 0 to nsites - 1 do
+               let prog', f, _ = apply_imutation m ~site instrumented in
+               if f then begin
+                 fired := true;
+                 incr examined;
+                 if not (Rewrite.Verify.ok (Rewrite.Verify.verify prog')) then begin
+                   caught := Some (name, site);
+                   raise Exit
+                 end
+               end
+             done)
+           corpus
+       with Exit -> ());
+      { i_mutation = m; i_label = label; i_caught = !caught; i_fired = !fired; i_sites = !examined })
+    all_imutations
+
+let all_icaught reports = List.for_all (fun r -> r.i_caught <> None) reports
+
+let pp_ireport ppf r =
+  match r.i_caught with
+  | Some (kernel, site) ->
+      Format.fprintf ppf "%-18s caught by the validator in %s at site %d (%d site%s)" r.i_label
+        kernel site r.i_sites
+        (if r.i_sites = 1 then "" else "s")
+  | None ->
+      Format.fprintf ppf "%-18s MISSED after %d sites (mutation %s)" r.i_label r.i_sites
+        (if r.i_fired then "fired but drew no diagnostic" else "never fired")
+
 let pp_report ppf r =
   match r.m_caught with
   | Some (scenario, seed) ->

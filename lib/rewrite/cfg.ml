@@ -99,3 +99,9 @@ let backedges t =
 
 let n_blocks t = Array.length t.blocks
 let block t i = t.blocks.(i)
+
+(** [preds t] — predecessor block ids per block, in increasing order. *)
+let preds t =
+  let p = Array.make (Array.length t.blocks) [] in
+  Array.iter (fun blk -> List.iter (fun s -> p.(s) <- blk.id :: p.(s)) blk.succs) t.blocks;
+  Array.map List.rev p

@@ -10,7 +10,13 @@
     {v  Private  <  Shared  <  Top  v}
     with a pointer-arithmetic-aware join: adding a private integer offset
     to a shared pointer stays shared; any uncertainty goes to [Top], which
-    (like [Shared]) receives checks. *)
+    (like [Shared]) receives checks.
+
+    Float registers are tracked with the same lattice: an address can
+    round-trip through the float file ([Cvt_if]/[Fmov]/[Cvt_fi]), so a
+    [Cvt_fi] destination takes the class of its float source rather than
+    a blanket [Private] — otherwise a shared pointer laundered through a
+    float register would silently lose its check. *)
 
 type cls = Private | Shared | Top
 
@@ -30,60 +36,81 @@ let add_cls a b =
   | Shared, Shared -> Top (* adding two pointers is not address arithmetic *)
   | Top, _ | _, Top -> Top
 
-type state = cls array (* one class per integer register *)
+type state = { ints : cls array; floats : cls array }
+(** one class per integer and per float register *)
 
 let sp = 30
 let gp = 29
 let zero = 31
 
 let entry_state () =
-  let s = Array.make 32 Top in
-  s.(sp) <- Private;
-  s.(gp) <- Private;
-  s.(zero) <- Private;
-  s
+  let ints = Array.make 32 Top in
+  ints.(sp) <- Private;
+  ints.(gp) <- Private;
+  ints.(zero) <- Private;
+  let floats = Array.make 32 Top in
+  floats.(zero) <- Private (* f31 reads as 0.0 *);
+  { ints; floats }
 
-let copy = Array.copy
+let bottom () = { ints = Array.make 32 Private; floats = Array.make 32 Private }
+let copy s = { ints = Array.copy s.ints; floats = Array.copy s.floats }
 
 let join_state (a : state) (b : state) =
   let changed = ref false in
-  for i = 0 to 31 do
-    let j = join a.(i) b.(i) in
-    if j <> a.(i) then begin
-      a.(i) <- j;
-      changed := true
-    end
-  done;
+  let merge xa xb =
+    for i = 0 to 31 do
+      let j = join xa.(i) xb.(i) in
+      if j <> xa.(i) then begin
+        xa.(i) <- j;
+        changed := true
+      end
+    done
+  in
+  merge a.ints b.ints;
+  merge a.floats b.floats;
   !changed
 
 (** Transfer function for one instruction, given [shared_base]: an [Li]
     of an absolute address classifies by which region it falls in. *)
 let transfer ~shared_base (s : state) (insn : Alpha.Insn.t) =
-  let set r c = if r <> zero then s.(r) <- c in
+  let set r c = if r <> zero then s.ints.(r) <- c in
+  let fset f c = if f <> zero then s.floats.(f) <- c in
   match insn with
   | Alpha.Insn.Li (r, v) ->
       set r (if Int64.compare v (Int64.of_int shared_base) >= 0 then Shared else Private)
+  | Alpha.Insn.Lif (f, v) ->
+      (* A float literal can still encode an address-sized value. *)
+      fset f (if v >= float_of_int shared_base then Shared else Private)
   | Alpha.Insn.Binop (op, a, b, d) -> (
-      let cb = match b with Alpha.Insn.Reg r -> s.(r) | Alpha.Insn.Imm _ -> Private in
+      let cb = match b with Alpha.Insn.Reg r -> s.ints.(r) | Alpha.Insn.Imm _ -> Private in
       match op with
-      | Alpha.Insn.Add | Alpha.Insn.Sub -> set d (add_cls s.(a) cb)
+      | Alpha.Insn.Add | Alpha.Insn.Sub -> set d (add_cls s.ints.(a) cb)
       | Alpha.Insn.Mul | Alpha.Insn.And | Alpha.Insn.Or | Alpha.Insn.Xor | Alpha.Insn.Sll
       | Alpha.Insn.Srl | Alpha.Insn.Sra ->
-          set d (match (s.(a), cb) with Private, Private -> Private | _ -> Top)
+          set d (match (s.ints.(a), cb) with Private, Private -> Private | _ -> Top)
       | Alpha.Insn.Cmpeq | Alpha.Insn.Cmplt | Alpha.Insn.Cmple | Alpha.Insn.Cmpult ->
           set d Private (* booleans are plain integers *))
   | Alpha.Insn.Ld (_, d, _, _) -> set d Top (* pointer loaded from memory: unknown *)
   | Alpha.Insn.Ll (_, d, _, _) -> set d Top
   | Alpha.Insn.Sc (_, r, _, _) -> set r Private (* success flag *)
-  | Alpha.Insn.Cvt_fi (_, r) -> set r Private
+  | Alpha.Insn.Ldf (d, _, _) -> fset d Top
+  | Alpha.Insn.Fmov (a, d) -> fset d s.floats.(a)
+  | Alpha.Insn.Cvt_if (r, f) -> fset f s.ints.(r)
+  | Alpha.Insn.Cvt_fi (f, r) -> set r s.floats.(f) (* a laundered pointer keeps its class *)
+  | Alpha.Insn.Fbinop (op, a, b, d) -> (
+      match op with
+      | Alpha.Insn.Fadd | Alpha.Insn.Fsub -> fset d (add_cls s.floats.(a) s.floats.(b))
+      | Alpha.Insn.Fmul | Alpha.Insn.Fdiv ->
+          fset d (match (s.floats.(a), s.floats.(b)) with Private, Private -> Private | _ -> Top))
   | Alpha.Insn.Fcmp (_, _, _, r) -> set r Private
   | Alpha.Insn.Call _ ->
-      (* Callee may clobber everything except sp/gp by convention. *)
+      (* Callee may clobber any register except sp/gp by convention; the
+         float file has no preserved pointer registers at all. *)
       for i = 0 to 31 do
-        if i <> sp && i <> gp && i <> zero then s.(i) <- Top
+        if i <> sp && i <> gp && i <> zero then s.ints.(i) <- Top;
+        if i <> zero then s.floats.(i) <- Top
       done
-  | Alpha.Insn.Lif _ | Alpha.Insn.Ldf _ | Alpha.Insn.Stf _ | Alpha.Insn.Fbinop _
-  | Alpha.Insn.Cvt_if _ | Alpha.Insn.Fmov _ | Alpha.Insn.St _ | Alpha.Insn.Mb
+  | Alpha.Insn.Stf _ | Alpha.Insn.St _ | Alpha.Insn.Mb
   | Alpha.Insn.Br _ | Alpha.Insn.Bcond _ | Alpha.Insn.Ret | Alpha.Insn.Halt
   | Alpha.Insn.Load_check _ | Alpha.Insn.Store_check _ | Alpha.Insn.Batch_check _
   | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ | Alpha.Insn.Gran_lookup _
@@ -96,7 +123,7 @@ let analyze ~shared_base (cfg : Cfg.t) =
   let code = cfg.Cfg.proc.Alpha.Program.code in
   let n = Array.length code in
   let nb = Cfg.n_blocks cfg in
-  let block_in = Array.init nb (fun i -> if i = 0 then entry_state () else Array.make 32 Private) in
+  let block_in = Array.init nb (fun i -> if i = 0 then entry_state () else bottom ()) in
   (* Unvisited blocks start at bottom (all Private) so the first join
      copies the incoming state; track visited to seed correctly. *)
   let visited = Array.make nb false in
@@ -114,7 +141,8 @@ let analyze ~shared_base (cfg : Cfg.t) =
       (fun succ ->
         if not visited.(succ) then begin
           visited.(succ) <- true;
-          Array.blit s 0 block_in.(succ) 0 32;
+          Array.blit s.ints 0 block_in.(succ).ints 0 32;
+          Array.blit s.floats 0 block_in.(succ).floats 0 32;
           Queue.push succ worklist
         end
         else if join_state block_in.(succ) s then Queue.push succ worklist)

@@ -31,6 +31,10 @@ type options = {
       (** layouts with mixed block sizes: state-table checks are
           preceded by a block-number table lookup (Section 2.1); flag
           loads are unaffected (the flag is read from the data itself) *)
+  redundant_elim : bool;
+      (** run {!Optimize} over the instrumented code: inter-block
+          redundant-check elimination plus loop-invariant check
+          hoisting, re-validated by {!Verify} *)
 }
 
 let default_options =
@@ -43,6 +47,7 @@ let default_options =
     prefetch_ll_sc = true;
     mb_checks = true;
     granularity_table = false;
+    redundant_elim = false;
   }
 
 type stats = {
@@ -59,6 +64,8 @@ type stats = {
   mutable llsc_pairs : int;
   mutable prefetches : int;
   mutable gran_lookups : int;
+  mutable checks_eliminated : int;  (** redundant checks/entries removed by {!Optimize} *)
+  mutable checks_hoisted : int;  (** loop-invariant checks moved to preheaders *)
 }
 
 let empty_stats () =
@@ -76,6 +83,8 @@ let empty_stats () =
     llsc_pairs = 0;
     prefetches = 0;
     gran_lookups = 0;
+    checks_eliminated = 0;
+    checks_hoisted = 0;
   }
 
 (** [code_growth s] is the fractional static code-size increase,
@@ -158,7 +167,7 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
   in
   (* Pass 1: decide per-access checks. *)
   let checks : (int, check) Hashtbl.t = Hashtbl.create 16 in
-  let cls_at i r = before.(i).(r) in
+  let cls_at i r = before.(i).Dataflow.ints.(r) in
   for i = 0 to n - 1 do
     match code.(i) with
     | Alpha.Insn.Ld (w, d, off, base) ->
@@ -296,7 +305,10 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
           end
         end
         else begin
-          pre.(i) <- pre.(i) @ [ Alpha.Insn.Poll ];
+          (* The poll goes in front of any checks pending at the branch:
+             a poll can service an invalidation, so a check that ran
+             before it would prove nothing about the access it guards. *)
+          pre.(i) <- Alpha.Insn.Poll :: pre.(i);
           stats.polls_inserted <- stats.polls_inserted + 1
         end)
       (Cfg.backedges cfg)
@@ -348,7 +360,25 @@ let instrument_procedure ~options ~stats (proc : Alpha.Program.procedure) =
       List.iter emit post.(i)
     end
   done;
-  List.rev !out
+  let out = List.rev !out in
+  if not options.redundant_elim then out
+  else begin
+    let name = proc.Alpha.Program.name in
+    let r = Optimize.run ~gran:options.granularity_table ~name out in
+    stats.checks_eliminated <- stats.checks_eliminated + r.Optimize.eliminated;
+    stats.checks_hoisted <- stats.checks_hoisted + r.Optimize.hoisted;
+    (* The optimizer may never ship an uncovered access: re-validate. *)
+    let scratch = Alpha.Program.create () in
+    let p' = Alpha.Program.add_procedure scratch ~name r.Optimize.insns in
+    let rep =
+      Verify.verify_procedure ~shared_base:options.shared_base
+        ~require_llsc:options.transform_ll_sc p'
+    in
+    (match rep.Verify.r_diags with
+    | [] -> ()
+    | d :: _ -> raise (Verify.Uncovered_access d));
+    r.Optimize.insns
+  end
 
 (** [instrument ?options program] returns the instrumented program and
     the static statistics of the rewrite. *)
@@ -362,6 +392,28 @@ let instrument ?(options = default_options) (program : Alpha.Program.t) =
   in
   stats.new_slots <- Alpha.Program.size_in_slots program';
   (program', stats)
+
+(** Per-pass statistics in a stable, golden-testable layout. *)
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "procedures          %d@\n\
+     code slots          %d -> %d (+%.0f%%)@\n\
+     load checks         %d@\n\
+     store checks        %d@\n\
+     private accesses    %d (no check)@\n\
+     batches             %d covering %d accesses@\n\
+     polls               %d@\n\
+     mb checks           %d@\n\
+     ll/sc pairs         %d@\n\
+     prefetches          %d@\n\
+     gran lookups        %d@\n\
+     checks eliminated   %d@\n\
+     checks hoisted      %d"
+    s.procedures s.orig_slots s.new_slots
+    (100.0 *. code_growth s)
+    s.loads_checked s.stores_checked s.accesses_private s.batches s.batched_accesses
+    s.polls_inserted s.mb_checks_inserted s.llsc_pairs s.prefetches s.gran_lookups
+    s.checks_eliminated s.checks_hoisted
 
 (** Model of the code-modification time of Section 6.3: a fixed
     executable read/write cost plus per-procedure dataflow and insertion

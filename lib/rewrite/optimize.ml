@@ -1,0 +1,280 @@
+(** Inter-block redundant-check elimination and loop-invariant check
+    hoisting over instrumented code.
+
+    Both transforms run on {!Verify}'s availability dataflow (same
+    domain, same kill-set), so they can never assume more than the
+    validator will accept:
+
+    - {e elimination}: a single check ([Load_check], [Store_check] or a
+      whole [Batch_check]) is dropped when every fact it establishes is
+      already available on all paths into it.  Dropping such a check is
+      sound for the validator (its facts flow through from the earlier
+      checks once its own kill-all disappears) and semantics-preserving
+      for execution (a valid line makes both the flag compare and the
+      state-table test no-ops).  A [Batch_check] that stays is still
+      deduplicated: entries for the same (offset, base) merge into one
+      with the wider width / stronger kind, which only strengthens what
+      the batch establishes.
+    - {e hoisting}: a natural loop whose body contains {e no} protocol
+      entry point (no poll, call, MB, LL/SC or residual check) and whose
+      checked base registers are never written in the body has its
+      checks replaced by one merged [Batch_check] in the preheader
+      position — before the header label, so backedges skip it.  With
+      backedge polls enabled every loop body contains a poll and nothing
+      hoists; that is correct, not a missed optimization: the poll can
+      service an invalidation, so per-iteration checks must stay.
+
+    The caller re-validates the result with {!Verify}; the optimizer
+    cannot ship an uncovered access. *)
+
+module I = Alpha.Insn
+
+type result = { insns : I.t list; eliminated : int; hoisted : int }
+
+(* Merge batch entries at the same (offset, base): keep first position,
+   widen the width, upgrade load-kind to store-kind. *)
+let merge_entries entries =
+  let out = ref [] in
+  List.iter
+    (fun (e : I.batch_entry) ->
+      let merged = ref false in
+      out :=
+        List.map
+          (fun (k : I.batch_entry) ->
+            if (not !merged) && k.I.b_off = e.I.b_off && k.I.b_base = e.I.b_base then begin
+              merged := true;
+              {
+                k with
+                I.b_width = (if k.I.b_width = I.W64 || e.I.b_width = I.W64 then I.W64 else I.W32);
+                b_kind =
+                  (if k.I.b_kind = I.Store_acc || e.I.b_kind = I.Store_acc then I.Store_acc
+                   else I.Load_acc);
+              }
+            end
+            else k)
+          !out;
+      if not !merged then out := !out @ [ e ])
+    entries;
+  !out
+
+let entry_covered avail ~(e : I.batch_entry) =
+  Verify.line_covered avail ~store:(e.I.b_kind = I.Store_acc) ~width:e.I.b_width ~off:e.I.b_off
+    ~base:e.I.b_base
+
+(* Rebuild a label-bearing instruction list from an assembled procedure,
+   dropping, replacing, and inserting.  [insert i] lands before the
+   labels at index [i], so branches to those labels skip it — exactly
+   the preheader position. *)
+let rebuild (p : Alpha.Program.procedure) ~drop ~replace ~insert =
+  let at = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun l i -> Hashtbl.replace at i (l :: Option.value (Hashtbl.find_opt at i) ~default:[]))
+    p.Alpha.Program.labels;
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let n = Array.length p.Alpha.Program.code in
+  for i = 0 to n do
+    List.iter emit (insert i);
+    (match Hashtbl.find_opt at i with
+    | Some ls -> List.iter (fun l -> emit (I.Label l)) (List.sort compare ls)
+    | None -> ());
+    if i < n && not drop.(i) then
+      match replace i with Some x -> emit x | None -> emit p.Alpha.Program.code.(i)
+  done;
+  List.rev !out
+
+(* Drop a cost-only [Gran_lookup] that immediately precedes a dropped
+   check (it modelled that check's block-number table load). *)
+let drop_gran code drop i =
+  if i > 0 && (match code.(i - 1) with I.Gran_lookup _ -> true | _ -> false) then
+    drop.(i - 1) <- true
+
+(* --- phase 1: redundant-check elimination --- *)
+
+let eliminate (p : Alpha.Program.procedure) =
+  let code = p.Alpha.Program.code in
+  let n = Array.length code in
+  let cfg = Cfg.build p in
+  let avail, reach = Verify.analyze_avail cfg in
+  let drop = Array.make n false in
+  let replace : (int, I.t) Hashtbl.t = Hashtbl.create 8 in
+  let eliminated = ref 0 in
+  for i = 0 to n - 1 do
+    if reach.(i) then
+      match code.(i) with
+      | I.Load_check (w, _, off, base) ->
+          (* The flag check guards the load right before it: if the line
+             is proven valid at the load, the loaded value is already the
+             true data and the flag compare is dead. *)
+          if
+            i > 0
+            && (match code.(i - 1) with
+               | I.Ld (w', _, off', base') -> w' = w && off' = off && base' = base
+               | _ -> false)
+            && Verify.line_covered avail.(i - 1) ~store:false ~width:w ~off ~base
+          then begin
+            drop.(i) <- true;
+            incr eliminated
+          end
+      | I.Store_check (w, off, base) ->
+          if Verify.line_covered avail.(i) ~store:true ~width:w ~off ~base then begin
+            drop.(i) <- true;
+            drop_gran code drop i;
+            incr eliminated
+          end
+      | I.Batch_check entries ->
+          let merged = merge_entries entries in
+          let dups = List.length entries - List.length merged in
+          if List.for_all (fun e -> entry_covered avail.(i) ~e) merged then begin
+            (* Every line the batch would establish is already valid on
+               all paths: the whole protocol entry disappears. *)
+            drop.(i) <- true;
+            drop_gran code drop i;
+            eliminated := !eliminated + List.length merged + dups
+          end
+          else if dups > 0 then begin
+            (* Partial drops by availability are unsound here (the batch
+               still kills all facts, so dropped entries would not be
+               re-established for later uses); only dedup, which keeps
+               the generated facts at least as strong. *)
+            Hashtbl.replace replace i (I.Batch_check merged);
+            eliminated := !eliminated + dups
+          end
+      | _ -> ()
+  done;
+  (rebuild p ~drop ~replace:(Hashtbl.find_opt replace) ~insert:(fun _ -> []), !eliminated)
+
+(* --- phase 2: loop-invariant check hoisting --- *)
+
+let is_barrier = function
+  | I.Poll | I.Call _ | I.Mb | I.Mb_check | I.Ll _ | I.Sc _ | I.Ll_check _ | I.Sc_check _
+  | I.Prefetch_excl _ | I.Ret | I.Halt ->
+      true
+  | _ -> false
+
+let hoist ~gran (p : Alpha.Program.procedure) =
+  let code = p.Alpha.Program.code in
+  let n = Array.length code in
+  let cfg = Cfg.build p in
+  let dt = Domtree.build cfg in
+  (* Natural loops, grouped by header block. *)
+  let by_header : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (br, tgt) ->
+      let hb = cfg.Cfg.block_of.(tgt) and lb = cfg.Cfg.block_of.(br) in
+      if (Cfg.block cfg hb).Cfg.first = tgt && Domtree.dominates dt hb lb then
+        Hashtbl.replace by_header hb (lb :: Option.value (Hashtbl.find_opt by_header hb) ~default:[]))
+    (Cfg.backedges cfg);
+  let loops =
+    Hashtbl.fold
+      (fun hb latches acc ->
+        let body = Array.make (Cfg.n_blocks cfg) false in
+        List.iter
+          (fun latch ->
+            match Domtree.natural_loop dt ~header:hb ~latch with
+            | Some bs -> Array.iteri (fun b v -> if v then body.(b) <- true) bs
+            | None -> ())
+          latches;
+        let size = Array.fold_left (fun a v -> if v then a + 1 else a) 0 body in
+        (hb, body, size) :: acc)
+      by_header []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  in
+  let drop = Array.make n false in
+  let inserts : (int, I.t list) Hashtbl.t = Hashtbl.create 4 in
+  let dirty = Array.make (Cfg.n_blocks cfg) false in
+  let hoisted = ref 0 in
+  List.iter
+    (fun (hb, body, _) ->
+      let in_body i = body.(cfg.Cfg.block_of.(i)) in
+      let body_overlaps_done =
+        Array.exists (fun b -> b) (Array.mapi (fun b v -> v && dirty.(b)) body)
+      in
+      if not body_overlaps_done then begin
+        let body_insns = ref [] in
+        for i = n - 1 downto 0 do
+          if in_body i then body_insns := i :: !body_insns
+        done;
+        let body_insns = !body_insns in
+        let has_barrier = List.exists (fun i -> is_barrier code.(i)) body_insns in
+        let written = Hashtbl.create 8 in
+        List.iter
+          (fun i -> List.iter (fun r -> Hashtbl.replace written r ()) (Verify.written_regs code.(i)))
+          body_insns;
+        (* Candidates: every check left in the body, as batch entries. *)
+        let candidates =
+          List.filter_map
+            (fun i ->
+              match code.(i) with
+              | I.Load_check (w, _, off, base) ->
+                  Some
+                    (i, [ { I.b_width = w; b_kind = I.Load_acc; b_off = off; b_base = base } ])
+              | I.Store_check (w, off, base) ->
+                  Some
+                    (i, [ { I.b_width = w; b_kind = I.Store_acc; b_off = off; b_base = base } ])
+              | I.Batch_check es -> Some (i, es)
+              | _ -> None)
+            body_insns
+        in
+        let bases_invariant =
+          List.for_all
+            (fun (_, es) ->
+              List.for_all (fun (e : I.batch_entry) -> not (Hashtbl.mem written e.I.b_base)) es)
+            candidates
+        in
+        let header_first = (Cfg.block cfg hb).Cfg.first in
+        (* Preheader position requires that the only branches into the
+           header are our backedges: any branch to it from outside the
+           body would bypass the hoisted check. *)
+        let no_side_entry =
+          let ok = ref true in
+          Array.iteri
+            (fun j insn ->
+              match insn with
+              | I.Br l | I.Bcond (_, _, l) ->
+                  if
+                    Alpha.Program.label_index p l = header_first
+                    && not (in_body j)
+                  then ok := false
+              | _ -> ())
+            code;
+          !ok
+        in
+        if candidates <> [] && (not has_barrier) && bases_invariant && no_side_entry then begin
+          List.iter
+            (fun (i, _) ->
+              drop.(i) <- true;
+              drop_gran code drop i)
+            candidates;
+          let entries = merge_entries (List.concat_map snd candidates) in
+          let e0 = List.hd entries in
+          let pre =
+            (if gran then [ I.Gran_lookup (e0.I.b_off, e0.I.b_base) ] else [])
+            @ [ I.Batch_check entries ]
+          in
+          Hashtbl.replace inserts header_first
+            (Option.value (Hashtbl.find_opt inserts header_first) ~default:[] @ pre);
+          hoisted := !hoisted + List.length candidates;
+          Array.iteri (fun b v -> if v then dirty.(b) <- true) body
+        end
+      end)
+    loops;
+  let insns =
+    rebuild p ~drop
+      ~replace:(fun _ -> None)
+      ~insert:(fun i -> Option.value (Hashtbl.find_opt inserts i) ~default:[])
+  in
+  (insns, !hoisted)
+
+(** [run ~gran ~name insns] — eliminate, then hoist, over one
+    instrumented (label-bearing) instruction list.  [gran] mirrors
+    [Instrument.options.granularity_table]: hoisted state-table checks
+    need the block-number lookup too. *)
+let run ~gran ~name insns =
+  let scratch = Alpha.Program.create () in
+  let p = Alpha.Program.add_procedure scratch ~name insns in
+  let insns, eliminated = eliminate p in
+  let scratch = Alpha.Program.create () in
+  let p = Alpha.Program.add_procedure scratch ~name insns in
+  let insns, hoisted = hoist ~gran p in
+  { insns; eliminated; hoisted }

@@ -315,6 +315,106 @@ let test_modification_time_model () =
   Alcotest.(check bool) "SPLASH ~4-8s" true (splash > 3.0 && splash < 9.0);
   Alcotest.(check bool) "Oracle ~180-220s" true (oracle > 150.0 && oracle < 260.0)
 
+let test_poll_precedes_pending_checks () =
+  (* Regression for the pass-3 ordering bug: when a poll and checks land
+     in front of the same instruction, the poll must come first — a
+     check issued before a protocol entry point is dead (the validator's
+     poll-kill rule convicts the swapped order; see the
+     check-after-poll mutation). *)
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main"
+            [
+              label "outer";
+              label "try_again";
+              ll W32 t0 0 a0;
+              bne t0 "try_again";
+              li t0 1L;
+              sc W32 t0 0 a0;
+              beq t0 "try_again";
+              mb;
+              ldq t1 0 a1;
+              addi t1 1 t1;
+              stq t1 0 a1;
+              mb;
+              stl zero 0 a0;
+              subi a2 1 a2;
+              bgt a2 "outer";
+              halt;
+            ];
+        ])
+  in
+  let prog', _ = instrument prog in
+  let code = code_of prog' "main" in
+  let is_check i =
+    is_load_check i || is_store_check i || is_batch_check i || is_ll_check i || is_sc_check i
+  in
+  let poll_then_check = ref false in
+  Array.iteri
+    (fun i insn ->
+      if is_poll insn then begin
+        if i > 0 && is_check code.(i - 1) then
+          Alcotest.fail "check emitted before a poll at the same site";
+        if i + 1 < Array.length code && is_check code.(i + 1) then poll_then_check := true
+      end)
+    code;
+  Alcotest.(check bool) "poll precedes its pending check" true !poll_then_check;
+  Alcotest.(check bool) "validator-clean" true (Rewrite.Verify.ok (Rewrite.Verify.verify prog'))
+
+let test_pointer_reloaded_after_call_rechecked () =
+  (* v0 is provably private before the call; the call may redefine it
+     (return-register convention), so the reload through it must be
+     re-checked. *)
+  let prog =
+    Asm.(
+      program
+        [
+          proc "main" [ li v0 0x100L; ldq t0 0 v0; call "f"; ldq t1 0 v0; halt ];
+          proc "f" [ ret ];
+        ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "pre-call load private" 1 stats.Rewrite.Instrument.accesses_private;
+  Alcotest.(check int) "post-call load checked" 1 (count is_load_check code);
+  let idx pred =
+    let r = ref (-1) in
+    Array.iteri (fun i insn -> if !r < 0 && pred insn then r := i) code;
+    !r
+  in
+  let call_i = idx (function Insn.Call _ -> true | _ -> false) in
+  Alcotest.(check bool) "the check is after the call" true (idx is_load_check > call_i)
+
+let test_float_laundered_pointer_still_checked () =
+  (* A shared pointer converted to float, moved, and converted back must
+     keep its class: the access through the laundered register is
+     checked. *)
+  let prog =
+    Asm.(
+      program
+        [ proc "main" [ cvt_if a0 0; fmov 0 1; cvt_fi 1 t0; ldq t1 0 t0; halt ] ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "load checked" 1 (count is_load_check code);
+  Alcotest.(check int) "not treated as private" 0 stats.Rewrite.Instrument.accesses_private
+
+let test_private_float_roundtrip_unchecked () =
+  (* The same laundering of a provably private pointer stays
+     unchecked — the class survives the float round trip. *)
+  let prog =
+    Asm.(
+      program
+        [ proc "main" [ li t0 0x100L; cvt_if t0 0; cvt_fi 0 t1; ldq t2 0 t1; halt ] ])
+  in
+  let prog', stats = instrument prog in
+  let code = code_of prog' "main" in
+  Alcotest.(check int) "no checks" 0 (count is_load_check code);
+  Alcotest.(check int) "no batch checks" 0 (count is_batch_check code);
+  Alcotest.(check int) "counted private" 1 stats.Rewrite.Instrument.accesses_private
+
 let suite =
   [
     Alcotest.test_case "private not checked" `Quick test_private_not_checked;
@@ -330,5 +430,12 @@ let suite =
     Alcotest.test_case "code growth" `Quick test_code_growth;
     Alcotest.test_case "lock program semantics preserved" `Quick test_semantics_preserved_lock_program;
     Alcotest.test_case "modification time model" `Quick test_modification_time_model;
+    Alcotest.test_case "poll precedes pending checks" `Quick test_poll_precedes_pending_checks;
+    Alcotest.test_case "pointer reloaded after call re-checked" `Quick
+      test_pointer_reloaded_after_call_rechecked;
+    Alcotest.test_case "float-laundered pointer still checked" `Quick
+      test_float_laundered_pointer_still_checked;
+    Alcotest.test_case "private float roundtrip unchecked" `Quick
+      test_private_float_roundtrip_unchecked;
     QCheck_alcotest.to_alcotest qcheck_semantics_preserved;
   ]
