@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
    rewrite_time ablation micro faults checker granularity
-   granularity_smoke rce *)
+   granularity_smoke rce serve serve_smoke *)
 
 let experiments =
   [
@@ -26,6 +26,8 @@ let experiments =
     ("granularity", Granularity.run_granularity);
     ("granularity_smoke", Granularity.run_granularity_smoke);
     ("rce", Rce.run_rce);
+    ("serve", Serve.run_serve);
+    ("serve_smoke", Serve.run_serve_smoke);
   ]
 
 let () =

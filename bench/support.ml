@@ -51,6 +51,17 @@ let print_table ~headers rows =
   Printf.printf "%s\n" (rule (Array.fold_left ( + ) (2 * (cols - 1)) widths));
   List.iter print_row rows
 
+(* --- machine-readable output --- *)
+
+(** [emit_json ~file ~bench ?meta fields] — write a benchmark result as
+    a deterministic JSON document ({!Load.Json}), tagged with the bench
+    name so trajectory files are self-describing.  All benches share
+    this one emitter so every BENCH_*.json has the same envelope. *)
+let emit_json ~file ~bench ?(meta = []) fields =
+  Load.Json.write_file file
+    (Load.Json.Obj (("bench", Load.Json.Str bench) :: (meta @ fields)));
+  Printf.printf "wrote %s\n" file
+
 let us t = Printf.sprintf "%.2f" (Sim.Units.to_us t)
 let ms t = Printf.sprintf "%.2f" (1000.0 *. t)
 let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,114 @@
+(* CLI: open-loop load generation against minidb on the simulated
+   cluster — offered arrivals, admission control, tail-latency report.
+
+     dune exec bin/shasta_serve.exe -- --arrival poisson:40000 --clients 512 \
+       --duration 0.05 --admission queue:256:0.02
+     dune exec bin/shasta_serve.exe -- --sweep 10000,20000,40000,80000,160000
+
+   Same seed => bit-identical latency histograms (the --json report can
+   be diffed byte for byte). *)
+
+module S = Load.Serve
+module A = Load.Arrival
+
+let () =
+  let arrival = ref "poisson:20000" in
+  let clients = ref 256 in
+  let window = ref 4 in
+  let duration = ref 0.05 in
+  let admission = ref "queue:256:0.02" in
+  let scan_share = ref 0.1 in
+  let seed = ref 42 in
+  let nodes = ref 2 in
+  let cpus = ref 4 in
+  let servers = ref 6 in
+  let faults = ref "" in
+  let sweep = ref "" in
+  let json_out = ref "" in
+  let breakdown = ref false in
+  let args =
+    [
+      ("--arrival", Arg.Set_string arrival, " arrival process: " ^ A.spec_help);
+      ("--clients", Arg.Set_int clients, " simulated client sessions");
+      ("--window", Arg.Set_int window, " per-client in-flight window");
+      ("--duration", Arg.Set_float duration, " seconds of offered load (simulated)");
+      ("--admission", Arg.Set_string admission, " admission policy: " ^ Load.Admission.spec_help);
+      ("--scan-share", Arg.Set_float scan_share, " fraction of requests that are scans");
+      ("--seed", Arg.Set_int seed, " RNG seed (arrivals, mix, placement)");
+      ("--nodes", Arg.Set_int nodes, " cluster nodes");
+      ("--cpus", Arg.Set_int cpus, " processors per node");
+      ("--servers", Arg.Set_int servers, " server worker processes");
+      ( "--faults",
+        Arg.Set_string faults,
+        " fault plan, e.g. \"seed=42,drop=0.05\" (composes with the multiplexer)" );
+      ( "--sweep",
+        Arg.Set_string sweep,
+        " comma-separated offered rates; runs a saturation sweep instead of one point" );
+      ("--json", Arg.Set_string json_out, " write the machine-readable report to this file");
+      ("--node-breakdown", Arg.Set breakdown, " print per-node time breakdowns");
+    ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_serve [options]";
+  let plan = if !faults = "" then Fault.Plan.empty else Fault.Plan.of_spec !faults in
+  let cluster_cfg =
+    S.cluster_config ~nodes:!nodes ~cpus_per_node:!cpus ~fault_plan:plan ()
+  in
+  let total_cpus = !nodes * !cpus in
+  if !servers < 1 || !servers > total_cpus - 1 then begin
+    Printf.eprintf "--servers must be in [1, %d]\n" (total_cpus - 1);
+    exit 2
+  end;
+  let cfg =
+    {
+      S.default_config with
+      S.seed = !seed;
+      arrival = A.of_spec !arrival;
+      clients = !clients;
+      window = !window;
+      duration = !duration;
+      scan_share = !scan_share;
+      admission = Load.Admission.of_spec !admission;
+      server_cpus = List.init !servers (fun i -> 1 + i);
+    }
+  in
+  let report_outcome (o : S.outcome) =
+    Format.printf "%a" Load.Recorder.pp o.S.recorder;
+    Format.printf "validated: %b  drained: %b  (%.1f ms simulated)@." o.S.ok o.S.drained
+      (1000.0 *. o.S.elapsed);
+    Format.printf "%a" Shasta.Cluster.pp_fault_report o.S.cluster;
+    if !breakdown then Format.printf "%a" Shasta.Cluster.pp_node_report o.S.cluster;
+    o.S.ok && o.S.drained
+  in
+  if !sweep = "" then begin
+    let o = S.run ~cluster_cfg cfg in
+    let ok = report_outcome o in
+    if !json_out <> "" then begin
+      Load.Json.write_file !json_out
+        (S.sweep_json ~cfg [ { S.sp_rate = A.mean_rate cfg.S.arrival; sp_outcome = o } ]);
+      Printf.printf "wrote %s\n" !json_out
+    end;
+    if not ok then exit 1
+  end
+  else begin
+    let rates =
+      try List.map float_of_string (String.split_on_char ',' !sweep)
+      with _ ->
+        Printf.eprintf "--sweep expects comma-separated rates\n";
+        exit 2
+    in
+    let points = S.sweep ~cluster_cfg ~cfg rates in
+    Format.printf "%a" S.pp_sweep points;
+    let all_ok = List.for_all (fun p -> p.S.sp_outcome.S.ok && p.S.sp_outcome.S.drained) points in
+    Format.printf "all points validated and drained: %b@." all_ok;
+    if !breakdown then
+      List.iter
+        (fun p ->
+          Format.printf "-- %.0f req/s --@." p.S.sp_rate;
+          Format.printf "%a" Shasta.Cluster.pp_node_report p.S.sp_outcome.S.cluster)
+        points;
+    if !json_out <> "" then begin
+      Load.Json.write_file !json_out (S.sweep_json ~cfg points);
+      Printf.printf "wrote %s\n" !json_out
+    end;
+    if not all_ok then exit 1
+  end

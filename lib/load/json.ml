@@ -1,0 +1,79 @@
+(** Minimal JSON values and a deterministic printer.
+
+    The load subsystem, the serve CLI and the benchmark harness all emit
+    machine-readable results (the [BENCH_*.json] trajectory files); this
+    keeps them dependency-free and byte-reproducible: the same value
+    always prints to the same string, so a fixed seed yields a
+    bit-identical report. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.12g keeps latencies in microseconds exact to well below a cycle
+   while printing identically across runs; non-finite floats have no
+   JSON spelling and become null. *)
+let float_str x =
+  if Float.is_nan x || x = infinity || x = neg_infinity then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.12g" x
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float x -> Buffer.add_string b (float_str x)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  emit b v;
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  output_char oc '\n';
+  close_out oc

@@ -198,3 +198,27 @@ let total_breakdown t =
   List.fold_left
     (fun acc h -> Breakdown.add acc (Runtime.breakdown h))
     (Breakdown.empty ()) (runtimes t)
+
+(** [per_node_breakdowns t] — breakdown sums grouped by node, so a
+    serving run can show where each node's time went (a node hosting
+    only clients idles; a node hosting the daemons pays in messages). *)
+let per_node_breakdowns t =
+  let acc =
+    Array.init t.cfg.Config.net.Mchan.Net.nodes (fun _ -> Breakdown.empty ())
+  in
+  List.iter
+    (fun h ->
+      let n = Runtime.node h in
+      acc.(n) <- Breakdown.add acc.(n) (Runtime.breakdown h))
+    (runtimes t);
+  acc
+
+(** [pp_node_report ppf t] — one line of busy/stall/message time per
+    node. *)
+let pp_node_report ppf t =
+  Array.iteri
+    (fun n b ->
+      Format.fprintf ppf "  node %d: task %.3fms read %.3fms write %.3fms sync %.3fms blocked %.3fms msg %.3fms@."
+        n (1e3 *. b.Breakdown.task) (1e3 *. b.Breakdown.read) (1e3 *. b.Breakdown.write)
+        (1e3 *. b.Breakdown.sync) (1e3 *. b.Breakdown.blocked) (1e3 *. b.Breakdown.msg))
+    (per_node_breakdowns t)

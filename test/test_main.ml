@@ -1,3 +1,3 @@
 (* Test runner: aggregates the per-module suites. *)
 
-let () = Alcotest.run "shasta" [ ("sim", Test_sim.suite); ("mchan", Test_mchan.suite); ("alpha", Test_alpha.suite); ("rewrite", Test_rewrite.suite); ("verify", Test_verify.suite); ("layout", Test_layout.suite); ("protocol", Test_protocol.suite); ("shasta", Test_shasta.suite); ("apps", Test_apps.suite); ("osim", Test_osim.suite); ("minidb", Test_minidb.suite); ("consistency", Test_consistency.suite); ("ir_kernel", Test_ir_kernel.suite); ("fault", Test_fault.suite); ("litmus", Test_litmus.suite) ]
+let () = Alcotest.run "shasta" [ ("sim", Test_sim.suite); ("mchan", Test_mchan.suite); ("alpha", Test_alpha.suite); ("rewrite", Test_rewrite.suite); ("verify", Test_verify.suite); ("layout", Test_layout.suite); ("protocol", Test_protocol.suite); ("shasta", Test_shasta.suite); ("apps", Test_apps.suite); ("osim", Test_osim.suite); ("minidb", Test_minidb.suite); ("consistency", Test_consistency.suite); ("ir_kernel", Test_ir_kernel.suite); ("fault", Test_fault.suite); ("litmus", Test_litmus.suite); ("load", Test_load.suite) ]

@@ -357,6 +357,78 @@ let test_stats_histogram () =
   Alcotest.(check int) "observations" 100 (Stats.observations h);
   Alcotest.(check bool) "median near 5" true (abs_float (Stats.percentile h 50.0 -. 4.5) < 1.0)
 
+(* Exact quantile of a sample, for checking the log histogram against:
+   the smallest element with rank >= ceil(n * p / 100). *)
+let exact_quantile xs p =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (float_of_int n *. p /. 100.0)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let test_log_histogram_tail () =
+  (* A latency-shaped sample: a tight body plus a 1% tail three decades
+     out.  The linear histogram's percentile lumps the tail into one
+     bucket; the log histogram must resolve it to ~5%. *)
+  let xs =
+    List.init 1000 (fun i ->
+        if i mod 100 = 99 then 0.05 +. (0.001 *. float_of_int i) else 1.0e-4 +. (1.0e-7 *. float_of_int i))
+  in
+  let h = Stats.log_histogram ~lo:1.0e-7 ~hi:100.0 () in
+  List.iter (Stats.log_record h) xs;
+  Alcotest.(check int) "observations" 1000 (Stats.log_observations h);
+  let bucket_ratio = 10.0 ** (1.0 /. 50.0) in
+  List.iter
+    (fun p ->
+      let est = Stats.log_percentile h p and ex = exact_quantile xs p in
+      let ratio = if est > ex then est /. ex else ex /. est in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within one bucket (est %g exact %g)" p est ex)
+        true
+        (ratio <= bucket_ratio *. (1.0 +. 1e-9)))
+    [ 50.0; 90.0; 99.0; 99.9 ];
+  (* Extremes are exact, not bucket midpoints. *)
+  Alcotest.(check (float 0.0)) "p0 = min" (exact_quantile xs 0.0) (Stats.log_percentile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 = max" (exact_quantile xs 100.0) (Stats.log_percentile h 100.0)
+
+let test_log_histogram_merge () =
+  let mk xs =
+    let h = Stats.log_histogram ~lo:1.0e-7 ~hi:100.0 () in
+    List.iter (Stats.log_record h) xs;
+    h
+  in
+  let a = List.init 100 (fun i -> 1.0e-4 *. float_of_int (i + 1)) in
+  let b = List.init 100 (fun i -> 1.0e-2 *. float_of_int (i + 1)) in
+  let merged = mk a in
+  Stats.log_merge merged (mk b);
+  let whole = mk (a @ b) in
+  Alcotest.(check int) "count" (Stats.log_observations whole) (Stats.log_observations merged);
+  Alcotest.(check (float 1e-12)) "min" (Stats.log_min whole) (Stats.log_min merged);
+  Alcotest.(check (float 1e-12)) "max" (Stats.log_max whole) (Stats.log_max merged);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "p%g" p)
+        (Stats.log_percentile whole p) (Stats.log_percentile merged p))
+    [ 50.0; 99.0; 99.9 ];
+  Alcotest.(check bool)
+    "sparse bins equal" true
+    (Stats.log_nonzero whole = Stats.log_nonzero merged)
+
+let qcheck_log_quantiles_within_bucket =
+  QCheck.Test.make ~name:"log histogram quantiles within one bucket of exact" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 400) (float_range 1e-6 10.0))
+    (fun xs ->
+      let h = Stats.log_histogram ~lo:1.0e-7 ~hi:100.0 () in
+      List.iter (Stats.log_record h) xs;
+      let bucket_ratio = 10.0 ** (1.0 /. 50.0) in
+      List.for_all
+        (fun p ->
+          let est = Stats.log_percentile h p and ex = exact_quantile xs p in
+          let ratio = if est > ex then est /. ex else ex /. est in
+          ratio <= bucket_ratio *. (1.0 +. 1e-9))
+        [ 25.0; 50.0; 90.0; 99.0; 99.9 ])
+
 let qcheck_heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
@@ -422,6 +494,9 @@ let suite =
     Alcotest.test_case "rng keyed link streams" `Quick test_rng_keyed_link_streams;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "log histogram tail accuracy" `Quick test_log_histogram_tail;
+    Alcotest.test_case "log histogram merge" `Quick test_log_histogram_merge;
+    QCheck_alcotest.to_alcotest qcheck_log_quantiles_within_bucket;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;
     QCheck_alcotest.to_alcotest qcheck_heap_stable_reference;
     QCheck_alcotest.to_alcotest qcheck_summary_mean;
