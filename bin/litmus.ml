@@ -3,6 +3,7 @@
    and coherence-checking layers of lib/check.
 
      dune exec bin/litmus.exe -- [--seeds N] [--jitter] [--explore]
+                                 [--dpor] [--preemption-bound K]
                                  [--mutate] [--out FILE]
 
    Every run executes with the per-message invariant checker on, a
@@ -10,7 +11,11 @@
    oracle.  Exit status is 1 when any violation is found (or, under
    --mutate, when a seeded protocol bug goes undetected); failing
    schedules are appended to --out so CI can upload them as artifacts.
-   To reproduce a reported seed locally:
+   Under --dpor every scenario (litmus kernels plus the minidb
+   two-transaction scenario) is explored to a partial-order-reduction
+   fixed point, optionally under --preemption-bound; per-scenario
+   run/class statistics are appended to --out as JSON lines.  To
+   reproduce a reported seed locally:
 
      dune exec bin/litmus.exe -- --seeds N       # covers seeds 1..N *)
 
@@ -18,6 +23,8 @@ let () =
   let seeds = ref 16 in
   let jitter = ref false in
   let explore = ref false in
+  let dpor = ref false in
+  let pbound = ref (-1) in
   let mutate = ref false in
   let out = ref "" in
   let spec =
@@ -25,8 +32,12 @@ let () =
       ("--seeds", Arg.Set_int seeds, "N  seeded schedules per scenario (default 16)");
       ("--jitter", Arg.Set jitter, " also run delay-injection schedules");
       ("--explore", Arg.Set explore, " bounded exhaustive tie-set exploration");
+      ("--dpor", Arg.Set dpor, " partial-order-reduced exploration to a fixed point");
+      ( "--preemption-bound",
+        Arg.Set_int pbound,
+        "K  bound preemptions per run under --dpor (default unbounded)" );
       ("--mutate", Arg.Set mutate, " mutation harness: seeded protocol bugs must be caught");
-      ("--out", Arg.Set_string out, "FILE  append failing schedules for CI artifacts");
+      ("--out", Arg.Set_string out, "FILE  append failing schedules + stats JSON for CI");
     ]
   in
   Arg.parse spec
@@ -41,6 +52,16 @@ let () =
         Buffer.add_string artifact (s ^ "\n");
         print_endline ("  FAIL " ^ s))
       fmt
+  in
+  let stats_line ~driver ~scenario (st : Check.Explore.stats) =
+    Buffer.add_string artifact
+      (Printf.sprintf
+         "{\"driver\":%S,\"scenario\":%S,\"runs\":%d,\"classes\":%d,\"choice_points\":%d,\"complete\":%b,\"truncated\":%b%s}\n"
+         driver scenario st.Check.Explore.s_runs st.Check.Explore.s_classes
+         st.Check.Explore.s_choice_points st.Check.Explore.s_complete
+         st.Check.Explore.s_truncated
+         (if !pbound >= 0 then Printf.sprintf ",\"preemption_bound\":%d" !pbound
+          else ""))
   in
 
   (* Seed sweep: FIFO default plus N seeded tie-break schedules. *)
@@ -63,9 +84,8 @@ let () =
     Printf.printf "== litmus: %d jittered (delay-injection) schedules ==\n%!" !seeds;
     List.iter
       (fun (sc : Check.Litmus.scenario) ->
-        let fails =
-          Check.Explore.jittered ~n:!seeds (Check.Litmus.as_scenario sc)
-        in
+        let r = Check.Explore.jittered ~n:!seeds (Check.Litmus.as_scenario sc) in
+        let fails = r.Check.Explore.failures in
         if fails = [] then
           Printf.printf "  ok   %-18s\n%!" sc.Check.Litmus.name
         else
@@ -84,13 +104,20 @@ let () =
     Printf.printf "== litmus: bounded exhaustive tie-set exploration ==\n%!";
     List.iter
       (fun (sc : Check.Litmus.scenario) ->
-        let fails, runs, exhausted =
+        let r =
           Check.Explore.exhaustive ~max_runs:100 ~max_depth:6
             (Check.Litmus.as_scenario sc)
         in
+        let fails = r.Check.Explore.failures in
+        let st = r.Check.Explore.stats in
+        stats_line ~driver:"exhaustive" ~scenario:sc.Check.Litmus.name st;
         if fails = [] then
-          Printf.printf "  ok   %-18s (%d runs%s)\n%!" sc.Check.Litmus.name runs
-            (if exhausted then ", exhausted" else ", truncated")
+          Printf.printf "  ok   %-18s (%d runs, %d classes%s)\n%!"
+            sc.Check.Litmus.name st.Check.Explore.s_runs
+            st.Check.Explore.s_classes
+            (if st.Check.Explore.s_complete then ", complete"
+             else if st.Check.Explore.s_truncated then ", truncated"
+             else ", budget-limited")
         else
           List.iter
             (fun (f : Check.Explore.failure) ->
@@ -101,6 +128,54 @@ let () =
                 f.Check.Explore.f_violations)
             fails)
       Check.Litmus.all
+  end;
+
+  if !dpor then begin
+    let bound = if !pbound >= 0 then Some !pbound else None in
+    Printf.printf "== litmus: DPOR exploration%s ==\n%!"
+      (match bound with
+      | Some b -> Printf.sprintf " (preemption bound %d)" b
+      | None -> "");
+    List.iter
+      (fun (sc : Check.Litmus.scenario) ->
+        let r =
+          Check.Dpor.explore ?preemption_bound:bound
+            (Check.Litmus.as_scenario sc)
+        in
+        let st = r.Check.Explore.stats in
+        stats_line ~driver:"dpor" ~scenario:sc.Check.Litmus.name st;
+        if r.Check.Explore.failures = [] then begin
+          Printf.printf "  ok   %-18s (%d runs, %d classes%s)\n%!"
+            sc.Check.Litmus.name st.Check.Explore.s_runs
+            st.Check.Explore.s_classes
+            (if st.Check.Explore.s_complete then
+               if st.Check.Explore.s_truncated then ", bounded fixed point"
+               else ", complete"
+             else ", budget-limited");
+          if not st.Check.Explore.s_complete then
+            record "scenario=%s dpor did not reach a fixed point in %d runs"
+              sc.Check.Litmus.name st.Check.Explore.s_runs
+        end
+        else
+          List.iter
+            (fun (f : Check.Explore.failure) ->
+              List.iter
+                (fun v ->
+                  record "scenario=%s schedule=%S %s" sc.Check.Litmus.name
+                    f.Check.Explore.f_schedule v)
+                f.Check.Explore.f_violations)
+            r.Check.Explore.failures)
+      (Check.Litmus.all @ [ Check.Txn.scenario ]);
+
+    Printf.printf "== litmus: mutation conviction under DPOR ==\n%!";
+    let reports = Check.Mutation.hunt_dpor () in
+    List.iter
+      (fun (r : Check.Mutation.report) ->
+        Format.printf "  %a@." Check.Mutation.pp_report r;
+        if r.Check.Mutation.m_caught = None then
+          record "mutation=%s missed under dpor after %d runs"
+            r.Check.Mutation.m_label r.Check.Mutation.m_runs)
+      reports
   end;
 
   if !mutate then begin

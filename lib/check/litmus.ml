@@ -23,6 +23,11 @@ type scenario = {
   name : string;
   model : Protocol.Config.model;
   full_sc : bool;  (** demand a global SC witness of the trace *)
+  deadline : float;
+      (** simulated-time bound on a run; a deadlocked run (e.g. under
+          the skip-inval-ack mutation) spins until here and is then
+          reported by the finished/quiescence checks.  App-sized
+          scenarios ({!Txn}) need a larger bound than the kernels. *)
   body : C.t -> Trace.t -> (unit -> string list);
       (** spawns the processes; the returned thunk is the outcome check,
           run after the cluster quiesces *)
@@ -44,11 +49,8 @@ let config ?mutation ~model ~schedule () =
       };
   }
 
-(* Litmus runs quiesce in well under a simulated millisecond; a
-   deadlocked one (e.g. under the skip-inval-ack mutation, which hangs a
-   directory transaction forever) spins until this bound and is then
-   reported by the finished/quiescence checks. *)
-let deadline = 5.0e-3
+(* Litmus kernels quiesce in well under a simulated millisecond. *)
+let default_deadline = 5.0e-3
 
 let spin h addr =
   while R.load_int h addr <> 1 do
@@ -61,6 +63,10 @@ type outcome = {
   violations : string list;
   mutation_fired : int;  (** times the seeded bug actually triggered *)
   events : int;  (** traced shared accesses *)
+  legal_transients : int;
+      (** times the invariant checker observed (and exempted) the
+          documented legal transient: an owner in S/I with its exclusive
+          grant still in flight *)
 }
 
 (** [run ?mutation scenario schedule] — one fresh, fully-checked run. *)
@@ -72,7 +78,7 @@ let run ?mutation scenario schedule =
   let note v = violations := !violations @ v in
   let completed = ref false in
   (try
-     ignore (C.run ~until:deadline cl);
+     ignore (C.run ~until:scenario.deadline cl);
      completed := true
    with
   | Protocol.Engine.Coherence_violation { block; time; violations = v } ->
@@ -90,9 +96,9 @@ let run ?mutation scenario schedule =
           note
             [
               Printf.sprintf "%s: pid %d still running at t=%g (deadlock?)"
-                scenario.name (R.pid h) deadline;
+                scenario.name (R.pid h) scenario.deadline;
             ])
-      (C.runtimes cl);
+      (C.app_runtimes cl);
     note (List.map (fun s -> "quiescence: " ^ s) (Protocol.Engine.check_quiescent peng));
     note (outcome_check ());
     note (Trace.check ~full:scenario.full_sc tr)
@@ -101,6 +107,7 @@ let run ?mutation scenario schedule =
     violations = !violations;
     mutation_fired = Protocol.Engine.mutation_fires peng;
     events = Trace.length tr;
+    legal_transients = Protocol.Engine.legal_transients peng;
   }
 
 (* --- the scenarios ------------------------------------------------- *)
@@ -116,6 +123,7 @@ let figure2 =
     name = "figure2";
     model = Protocol.Config.Rc;
     full_sc = false;
+    deadline = default_deadline;
     body =
       (fun cl tr ->
         let a = C.alloc cl 64 in
@@ -162,6 +170,7 @@ let message_passing =
     name = "message-passing";
     model = Protocol.Config.Rc;
     full_sc = false;
+    deadline = default_deadline;
     body =
       (fun cl tr ->
         let data = C.alloc cl 64 and flag = C.alloc cl 64 in
@@ -186,6 +195,7 @@ let dekker =
     name = "dekker";
     model = Protocol.Config.Sc;
     full_sc = true;
+    deadline = default_deadline;
     body =
       (fun cl tr ->
         let x = C.alloc cl 64 and y = C.alloc cl 64 in
@@ -208,6 +218,7 @@ let atomic_increment =
     name = "atomic-increment";
     model = Protocol.Config.Rc;
     full_sc = false;
+    deadline = default_deadline;
     body =
       (fun cl tr ->
         let counter = C.alloc cl 64 in

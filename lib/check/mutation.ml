@@ -62,6 +62,60 @@ let hunt ?(seeds = 64) ?(scenarios = Litmus.all) () =
 
 let all_caught reports = List.for_all (fun r -> r.m_caught <> None) reports
 
+(* Shared driver for the systematic hunts: [explore] runs one scenario
+   function under a systematic driver; the wrapped scenario counts runs
+   and raises [Exit] on the first convicting run (a run where the bug
+   fired {e and} a checking layer reported a violation), which aborts
+   the driver early — both drivers tolerate an exception from the
+   scenario, so [m_runs] is exactly runs-to-conviction. *)
+let hunt_systematic ~explore ?(scenarios = Litmus.all) () =
+  List.map
+    (fun (mutation, label) ->
+      let caught = ref None in
+      let fired = ref false in
+      let runs = ref 0 in
+      (try
+         List.iter
+           (fun (sc : Litmus.scenario) ->
+             let scenario schedule =
+               incr runs;
+               let o = Litmus.run ~mutation sc schedule in
+               if o.Litmus.mutation_fired > 0 then begin
+                 fired := true;
+                 if o.Litmus.violations <> [] then begin
+                   caught := Some (sc.Litmus.name, 0);
+                   raise Exit
+                 end
+               end;
+               o.Litmus.violations
+             in
+             ignore (explore scenario))
+           scenarios
+       with Exit -> ());
+      {
+        m_mutation = mutation;
+        m_label = label;
+        m_caught = !caught;
+        m_fired = !fired;
+        m_runs = !runs;
+      })
+    all_mutations
+
+(** [hunt_dpor ?max_runs ?scenarios ()] — convict every protocol
+    mutation under the DPOR driver.  [m_runs] is the number of runs
+    spent before the first conviction ([m_caught] reports the catching
+    scenario, with 0 standing in for the seed). *)
+let hunt_dpor ?(max_runs = 400) ?scenarios () =
+  hunt_systematic ~explore:(fun s -> Dpor.explore ~max_runs s) ?scenarios ()
+
+(** [hunt_exhaustive ?max_runs ?max_depth ?scenarios ()] — the same
+    conviction sweep under the bounded-exhaustive driver, for run-count
+    comparisons against {!hunt_dpor}. *)
+let hunt_exhaustive ?(max_runs = 400) ?(max_depth = 8) ?scenarios () =
+  hunt_systematic
+    ~explore:(fun s -> Explore.exhaustive ~max_runs ~max_depth s)
+    ?scenarios ()
+
 (* --- instrumenter mutations ---
 
    The protocol mutations above seed bugs in the coherence engine; these

@@ -1,0 +1,74 @@
+(** An app-sized litmus scenario: two concurrent minidb transactions.
+
+    This is the workload class the brute-force explorer cannot touch —
+    booting the {!Osim.Kernel}, creating a (tiny) database, and running
+    two TPC-B-style [account_update] transactions from forked server
+    processes on different nodes produces thousands of events and far
+    more tie-break choice points than [Explore.exhaustive]'s bounded
+    tree can cover.  The transactions race on real shared state: the
+    redo-log latch, the log head/buffer, and the buffer-cache metadata,
+    while touching disjoint table pages.
+
+    The outcome check is the database invariant: after both commits, a
+    scan must sum to the initial balances plus both deltas, and both
+    servers must have reported completion. *)
+
+module C = Shasta.Cluster
+module K = Osim.Kernel
+module Db = Minidb.Db
+
+let pages = 2
+let rows_per_page = 4
+
+let scenario =
+  {
+    Litmus.name = "minidb-txn2";
+    model = Protocol.Config.Rc;
+    full_sc = false;
+    (* Boot + two transactions + verification scan stay well inside a
+       simulated second; a wedged run parks in [pid_block]/stalls and
+       quiesces early rather than spinning to the bound. *)
+    deadline = 1.0;
+    body =
+      (fun cl _tr ->
+        let committed1 = ref false and committed2 = ref false in
+        let scanned = ref min_int and expected = ref max_int in
+        (* Three kernel slots: root on node 0, one server slot each on
+           nodes 1 and 2 (litmus clusters are 4 nodes x 1 cpu). *)
+        let k = K.boot cl ~slot_cpus:[ 0; 1; 2 ] () in
+        let _root =
+          K.start k ~cpu_hint:0 (fun ctx ->
+              let db = Db.create ctx ~pages ~rows_per_page ~nframes:pages in
+              let kid1 =
+                K.fork ctx ~cpu_hint:1 (fun sctx ->
+                    Db.account_update sctx db ~account:1 ~delta:5;
+                    committed1 := true)
+              in
+              let kid2 =
+                K.fork ctx ~cpu_hint:2 (fun sctx ->
+                    Db.account_update sctx db ~account:5 ~delta:(-3);
+                    committed2 := true)
+              in
+              ignore kid1;
+              ignore kid2;
+              ignore (K.wait ctx);
+              ignore (K.wait ctx);
+              scanned :=
+                Db.scan ctx db ~lo_page:0 ~hi_page:pages ~meta_loads:1
+                  ~row_compute:2;
+              expected := Db.expected_sum db ~lo_page:0 ~hi_page:pages + 5 - 3)
+        in
+        fun () ->
+          let errs = ref [] in
+          if not (!committed1 && !committed2) then
+            errs :=
+              Printf.sprintf "minidb-txn2: commit flags (%b,%b), both expected"
+                !committed1 !committed2
+              :: !errs;
+          if !scanned <> !expected then
+            errs :=
+              Printf.sprintf "minidb-txn2: scan total %d, expected %d" !scanned
+                !expected
+              :: !errs;
+          List.rev !errs);
+  }

@@ -58,7 +58,12 @@ let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config)
               ~cpu_global_id:((node * config.cpus_per_node) + c)
               ~quantum:config.quantum ~switch_cost:config.switch_cost next_pid))
   in
-  let node_signal = Array.init config.nodes (fun _ -> Sim.Signal.create engine) in
+  let node_signal =
+    Array.init config.nodes (fun n ->
+        Sim.Signal.create
+          ~label:{ Sim.Engine.lbl_node = n; lbl_block = -1; lbl_kind = Sim.Engine.Wakeup }
+          engine)
+  in
   let tx = Array.init config.nodes (fun _ -> Link.create ~bandwidth:config.bandwidth) in
   let t =
     {
@@ -81,7 +86,10 @@ let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config)
           let leaves = Link.transmit t.tx.(src_node) ~now:at ~size in
           leaves +. config.one_way_latency
       in
-      Sim.Engine.at engine arrival (fun () -> k arrival)
+      let label =
+        { Sim.Engine.lbl_node = dst_node; lbl_block = -1; lbl_kind = Sim.Engine.Message }
+      in
+      Sim.Engine.at engine ~label arrival (fun () -> k arrival)
     in
     let pulse node = Sim.Signal.pulse t.node_signal.(node) in
     t.reliable <- Some (Reliable.create ~engine ~plan ~cfg:reliable_cfg ~phys ~pulse)
@@ -103,19 +111,26 @@ let nth_cpu t i =
   let per = t.config.cpus_per_node in
   t.cpus.(i / per).(i mod per)
 
-(** [send t ?at ~src_node ~dst_node ~size deliver] transmits a message;
-    [deliver] runs at the arrival time (it should enqueue into the right
-    mailbox), after which the destination node's signal is pulsed.  [at]
-    defaults to the current time; protocol handlers that service several
-    messages back-to-back pass their time cursor. *)
-let send t ?at ~src_node ~dst_node ~size deliver =
+(** [send t ?at ?block ~src_node ~dst_node ~size deliver] transmits a
+    message; [deliver] runs at the arrival time (it should enqueue into
+    the right mailbox), after which the destination node's signal is
+    pulsed.  [at] defaults to the current time; protocol handlers that
+    service several messages back-to-back pass their time cursor.
+    [block] declares the coherence block the message concerns (default
+    none): the delivery event is labeled with it plus the destination
+    node, so a {!Sim.Engine.Guided} explorer can tell which same-time
+    deliveries commute. *)
+let send t ?at ?(block = -1) ~src_node ~dst_node ~size deliver =
   let now = match at with Some x -> x | None -> Sim.Engine.now t.engine in
+  let label =
+    { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
+  in
   if src_node = dst_node then begin
     (* Intra-node messages move through shared memory, not the Memory
        Channel: the fault model never touches them. *)
     t.local_messages <- t.local_messages + 1;
     let arrival = now +. t.config.intra_node_latency in
-    Sim.Engine.at t.engine arrival (fun () ->
+    Sim.Engine.at t.engine ~label arrival (fun () ->
         deliver ();
         Sim.Signal.pulse t.node_signal.(dst_node))
   end
@@ -126,7 +141,7 @@ let send t ?at ~src_node ~dst_node ~size deliver =
     | None ->
         let leaves = Link.transmit t.tx.(src_node) ~now ~size in
         let arrival = leaves +. t.config.one_way_latency in
-        Sim.Engine.at t.engine arrival (fun () ->
+        Sim.Engine.at t.engine ~label arrival (fun () ->
             deliver ();
             Sim.Signal.pulse t.node_signal.(dst_node))
   end

@@ -148,7 +148,10 @@ let faulted_phys t ~at ~src ~dst ~size st k =
       Sim.Stats.incr_counter st.s_inj_delayed;
       Sim.Trace.f t.engine "fault %d->%d: delay +%.1e s (%d B)" src dst extra size;
       t.phys ~at ~src_node:src ~dst_node:dst ~size (fun arr ->
-          Sim.Engine.at t.engine (arr +. extra) (fun () -> k (arr +. extra)))
+          let label =
+            { Sim.Engine.lbl_node = dst; lbl_block = -1; lbl_kind = Sim.Engine.Message }
+          in
+          Sim.Engine.at t.engine ~label (arr +. extra) (fun () -> k (arr +. extra)))
   | Fault.Plan.Deliver -> t.phys ~at ~src_node:src ~dst_node:dst ~size k
 
 let send_ack t ch seq ~at =
@@ -220,7 +223,10 @@ and rx t ch fr arrival =
 and arm_timer t ch ~at =
   if not ch.timer_armed then begin
     ch.timer_armed <- true;
-    Sim.Engine.at t.engine (at +. t.cfg.timeout) (fun () ->
+    let label =
+      { Sim.Engine.lbl_node = ch.c_src; lbl_block = -1; lbl_kind = Sim.Engine.Timer }
+    in
+    Sim.Engine.at t.engine ~label (at +. t.cfg.timeout) (fun () ->
         ch.timer_armed <- false;
         if Hashtbl.length ch.unacked > 0 then begin
           let now = Sim.Engine.now t.engine in

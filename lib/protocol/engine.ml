@@ -125,6 +125,10 @@ and t = {
   mutable initialized : bool;
   mutable mutation_fires : int;  (** times the seeded bug was exercised *)
   mutable invariant_checks : int;  (** per-message invariant sweeps run *)
+  mutable legal_transients : int;
+      (** times the checker observed (and exempted) the documented legal
+          transient: a directory owner holding S/I while its exclusive
+          grant is still in flight *)
 }
 
 (* --- state table helpers --- *)
@@ -194,6 +198,7 @@ let create ~cfg ~net =
       initialized = false;
       mutation_fires = 0;
       invariant_checks = 0;
+      legal_transients = 0;
     }
   in
   (match cfg.Config.variant with
@@ -351,17 +356,32 @@ let count_data t msg =
       r.r_data_bytes <- r.r_data_bytes + Bytes.length data
   | _ -> ()
 
+let msg_block = function
+  | Ptypes.Request { block; _ }
+  | Ptypes.Data_reply { block; _ }
+  | Ptypes.Ack_exclusive { block; _ }
+  | Ptypes.Sc_result { block; _ }
+  | Ptypes.Invalidate { block; _ }
+  | Ptypes.Recall { block; _ }
+  | Ptypes.Writeback { block; _ }
+  | Ptypes.Inval_ack { block; _ }
+  | Ptypes.Downgrade { block; _ }
+  | Ptypes.Downgrade_ack { block; _ } ->
+      block
+
 let send_to_domain t ~cur ~from_node dst_domain msg =
   count_data t msg;
   let dst = domain_by_id t dst_domain in
-  Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:dst.dom_node
-    ~size:(Ptypes.msg_size msg) (fun () -> Mchan.Mailbox.push dst.dom_mailbox msg)
+  Mchan.Net.send t.net ~at:!cur ~block:(msg_block msg) ~src_node:from_node
+    ~dst_node:dst.dom_node ~size:(Ptypes.msg_size msg) (fun () ->
+      Mchan.Mailbox.push dst.dom_mailbox msg)
 
 let send_to_pid t ~cur ~from_node dst_pid msg =
   count_data t msg;
   let pcb = Hashtbl.find t.pcbs dst_pid in
-  Mchan.Net.send t.net ~at:!cur ~src_node:from_node ~dst_node:pcb.dom.dom_node
-    ~size:(Ptypes.msg_size msg) (fun () -> Mchan.Mailbox.push pcb.mailbox msg)
+  Mchan.Net.send t.net ~at:!cur ~block:(msg_block msg) ~src_node:from_node
+    ~dst_node:pcb.dom.dom_node ~size:(Ptypes.msg_size msg) (fun () ->
+      Mchan.Mailbox.push pcb.mailbox msg)
 
 (* --- state transitions applied at a domain --- *)
 
@@ -1021,7 +1041,7 @@ let check_block t b =
                      to S by a concurrent sharing writeback at the home, or
                      to I by an invalidation that beat the grant.  Applying
                      the granted reply moves the domain to E. *)
-                  ()
+                  t.legal_transients <- t.legal_transients + 1
               | s -> err "directory owner dom%d holds %c" o (st_char s));
               List.iter
                 (fun d ->
@@ -1048,18 +1068,6 @@ let check_block t b =
                 domains)));
   List.rev !errs
 
-let msg_block = function
-  | Ptypes.Request { block; _ }
-  | Ptypes.Data_reply { block; _ }
-  | Ptypes.Ack_exclusive { block; _ }
-  | Ptypes.Sc_result { block; _ }
-  | Ptypes.Invalidate { block; _ }
-  | Ptypes.Recall { block; _ }
-  | Ptypes.Writeback { block; _ }
-  | Ptypes.Inval_ack { block; _ }
-  | Ptypes.Downgrade { block; _ }
-  | Ptypes.Downgrade_ack { block; _ } ->
-      block
 
 (* Run after a message is applied, scoped to that message's block and
    its immediate neighbours: a flag write overrunning the block's layout
@@ -1634,6 +1642,8 @@ let mutation_fires t = t.mutation_fires
 
 (** Per-message invariant sweeps run so far (0 unless [check_invariants]). *)
 let invariant_checks t = t.invariant_checks
+
+let legal_transients t = t.legal_transients
 
 (** Per-region protocol traffic counters, indexed like the layout's
     regions.  The array is live — callers must not mutate it. *)

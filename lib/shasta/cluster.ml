@@ -25,7 +25,7 @@ type t = {
   net : Mchan.Net.t;
   peng : Protocol.Engine.t;
   sync : Sync.t;
-  mutable procs : (Sim.Proc.t * Runtime.t) list;
+  mutable procs : (Sim.Proc.t * Runtime.t * bool) list;  (* proc, runtime, serve *)
   mutable n_app : int;
   done_count : int ref;
   allocs : region_alloc array;
@@ -134,7 +134,7 @@ let spawn ?(serve = true) ?(priority = 0) t ~cpu name body =
   in
   let h = Runtime.create ~cfg:t.cfg ~peng:t.peng ~sync:t.sync proc in
   handle := Some h;
-  t.procs <- (proc, h) :: t.procs;
+  t.procs <- (proc, h, serve) :: t.procs;
   h
 
 let init ?homes t =
@@ -153,7 +153,7 @@ let run ?(until = 3600.0) t =
   init t;
   ignore (Sim.Engine.run ~until (sim t));
   List.iter
-    (fun ((p : Sim.Proc.t), _) ->
+    (fun ((p : Sim.Proc.t), _, _) ->
       match p.Sim.Proc.failure with
       | Some e -> raise (Worker_failed (p.Sim.Proc.name, e))
       | None -> ())
@@ -191,7 +191,14 @@ let pp_layout_report ppf t =
       ra.ra_requested ra.ra_used frag
   done
 
-let runtimes t = List.rev_map snd t.procs
+let runtimes t = List.rev_map (fun (_, h, _) -> h) t.procs
+
+(** [app_runtimes t] — runtimes of application processes only ([spawn]
+    with [serve] left true), excluding daemon-style processes spawned
+    [~serve:false] (kernel slots, protocol pollers) that by design never
+    finish — a deadlock sweep must not flag those. *)
+let app_runtimes t =
+  List.rev (List.filter_map (fun (_, h, serve) -> if serve then Some h else None) t.procs)
 
 (** [total_breakdown t] — sum of all per-process breakdowns. *)
 let total_breakdown t =

@@ -9,7 +9,66 @@
     are broken.  [Fifo] (the default) fires ties in insertion order and
     is bit-identical to the historical behaviour; the other policies
     exist for the model checker in [lib/check], which reruns scenarios
-    under many legal schedules. *)
+    under many legal schedules.
+
+    Every event optionally carries a {!label} — who the event belongs to
+    (a node), which coherence block it touches, and what kind of thing
+    it is.  The labels change nothing about execution; they exist so
+    that a {!Guided} scheduler (the DPOR explorer) can see the
+    dependency footprint of each runnable event and prune interleavings
+    of commuting pairs instead of brute-forcing them. *)
+
+(** What an event may touch, conservatively.  [-1] means "unknown /
+    all": an unlabeled event must be treated as dependent with every
+    other event. *)
+type label = {
+  lbl_node : int;  (** node whose local state the event mutates; -1 = unknown *)
+  lbl_block : int;  (** coherence block the event touches; -1 = none *)
+  lbl_kind : kind;
+}
+
+and kind =
+  | Generic  (** unclassified (the conservative default) *)
+  | Proc_step  (** a CPU scheduler step: dispatch, work slice, preempt timer *)
+  | Message  (** a network message delivery at its destination node *)
+  | Wakeup  (** a signal waiter waking a stalled process *)
+  | Timer  (** a transport retransmit or other timeout *)
+
+let no_label = { lbl_node = -1; lbl_block = -1; lbl_kind = Generic }
+
+let kind_to_string = function
+  | Generic -> "generic"
+  | Proc_step -> "proc"
+  | Message -> "msg"
+  | Wakeup -> "wakeup"
+  | Timer -> "timer"
+
+let pp_label ppf l =
+  Format.fprintf ppf "%s@n%d" (kind_to_string l.lbl_kind) l.lbl_node;
+  if l.lbl_block >= 0 then Format.fprintf ppf "/b%d" l.lbl_block
+
+(** [dependent a b] — may the firing order of two {e same-time} events
+    affect the simulation?  Conservative: unknown labels conflict with
+    everything; otherwise events conflict when they share a node (both
+    mutate that node's scheduler/mailbox state) or a block (both touch
+    that block's coherence state, possibly at different nodes).  Two
+    events on different nodes touching no common block commute: each
+    only mutates its own node's state and appends to the global event
+    heap, and heap insertion order within a tie-set is itself a
+    scheduling decision re-exposed at the next choice point. *)
+let dependent a b =
+  let unknown l = l.lbl_node < 0 && l.lbl_block < 0 in
+  if unknown a || unknown b then true
+  else
+    (a.lbl_node >= 0 && a.lbl_node = b.lbl_node)
+    || (a.lbl_block >= 0 && a.lbl_block = b.lbl_block)
+
+(** A runnable event as presented to a {!Guided} scheduler: its
+    footprint plus a stable identity ([ch_seq] is the insertion sequence
+    number, unchanged when a deferred event is pushed back for the next
+    choice point — so an explorer can track one event across the
+    successive choice points of a tie group). *)
+type choice = { ch_label : label; ch_seq : int }
 
 type schedule =
   | Fifo  (** insertion order; the historical deterministic default *)
@@ -25,17 +84,40 @@ type schedule =
           (entries are presented in insertion order); used for
           exhaustive exploration of small tie-sets.  Out-of-range
           answers fall back to index 0. *)
+  | Guided of (choice array -> int)
+      (** like [Choose], but the callback sees each candidate's identity
+          and dependency footprint, and is consulted on {e every} fire —
+          including singleton tie-sets — so an explorer can follow the
+          full fired-event trace.  Out-of-range answers fall back to
+          index 0. *)
+  | Guided_jittered of {
+      seed : int;
+      prob : float;
+      max_delay : float;
+      choose : choice array -> int;
+    }
+      (** [Guided] plus [Jittered]-style seeded delay injection: lets a
+          guided explorer search tie-break orders of runs whose message
+          timing is itself perturbed (some races only open under a
+          delay).  The delay stream is drawn per [at] call, so replaying
+          the same choice prefix reproduces the same delays. *)
 
 type sched_state =
   | S_fifo
   | S_seeded of Rng.t
   | S_jittered of { ties : Rng.t; delays : Rng.t; prob : float; max_delay : float }
   | S_choose of (int -> int)
+  | S_guided of {
+      choose : choice array -> int;
+      delays : (Rng.t * float * float) option;  (* rng, prob, max_delay *)
+    }
+
+type ev = { ev_label : label; ev_run : unit -> unit }
 
 type t = {
   mutable now : float;
   mutable seq : int;
-  events : (unit -> unit) Heap.t;
+  events : ev Heap.t;
   mutable fired : int;
   sched : sched_state;
 }
@@ -65,6 +147,9 @@ let create ?(schedule = Fifo) () =
         let ties = Rng.create seed in
         S_jittered { ties; delays = Rng.split ties; prob; max_delay }
     | Choose f -> S_choose f
+    | Guided f -> S_guided { choose = f; delays = None }
+    | Guided_jittered { seed; prob; max_delay; choose } ->
+        S_guided { choose; delays = Some (Rng.create seed, prob, max_delay) }
   in
   { now = 0.0; seq = 0; events = Heap.create (); fired = 0; sched }
 
@@ -74,9 +159,10 @@ let events_fired t = t.fired
 
 let pending t = Heap.length t.events
 
-(** [at t time f] schedules [f] to fire at absolute [time].
-    Requires [time >= now t]. *)
-let at t time f =
+(** [at t ?label time f] schedules [f] to fire at absolute [time].
+    Requires [time >= now t].  [label] (default: unknown) declares the
+    event's dependency footprint for {!Guided} exploration. *)
+let at t ?(label = no_label) time f =
   if time < t.now then
     raise
       (Past_event
@@ -89,25 +175,26 @@ let at t time f =
   let time =
     match t.sched with
     | S_jittered { delays; prob; max_delay; _ }
+    | S_guided { delays = Some (delays, prob, max_delay); _ }
       when prob > 0.0 && Rng.float delays 1.0 < prob ->
         time +. Rng.float delays max_delay
     | _ -> time
   in
-  Heap.push t.events ~time ~seq:t.seq f;
+  Heap.push t.events ~time ~seq:t.seq { ev_label = label; ev_run = f };
   t.seq <- t.seq + 1
 
-(** [after t dt f] schedules [f] to fire [dt] seconds from now. *)
-let after t dt f = at t (t.now +. dt) f
+(** [after t ?label dt f] schedules [f] to fire [dt] seconds from now. *)
+let after t ?label dt f = at t ?label (t.now +. dt) f
 
-let fire t (e : (unit -> unit) Heap.entry) =
+let fire t (e : ev Heap.entry) =
   t.now <- e.Heap.time;
   t.fired <- t.fired + 1;
-  e.Heap.value ()
+  e.Heap.value.ev_run ()
 
 (* Pop every further entry scheduled for exactly [first]'s time; the
    result (including [first]) is in insertion order because the heap
    pops ties FIFO. *)
-let pop_tie_set t (first : (unit -> unit) Heap.entry) =
+let pop_tie_set t (first : ev Heap.entry) =
   let rec go acc =
     match Heap.peek t.events with
     | Some e when e.Heap.time = first.Heap.time ->
@@ -122,7 +209,7 @@ let pop_tie_set t (first : (unit -> unit) Heap.entry) =
 let fire_choice t ties i =
   let chosen = List.nth ties i in
   List.iteri
-    (fun j (e : (unit -> unit) Heap.entry) ->
+    (fun j (e : ev Heap.entry) ->
       if j <> i then Heap.push t.events ~time:e.Heap.time ~seq:e.Heap.seq e.Heap.value)
     ties;
   fire t chosen
@@ -146,7 +233,19 @@ let step t =
           | ties ->
               let n = List.length ties in
               let i = f n in
-              fire_choice t ties (if i < 0 || i >= n then 0 else i)));
+              fire_choice t ties (if i < 0 || i >= n then 0 else i))
+      | S_guided { choose = f; _ } ->
+          let ties = pop_tie_set t e in
+          let cands =
+            Array.of_list
+              (List.map
+                 (fun (e : ev Heap.entry) ->
+                   { ch_label = e.Heap.value.ev_label; ch_seq = e.Heap.seq })
+                 ties)
+          in
+          let n = Array.length cands in
+          let i = f cands in
+          fire_choice t ties (if i < 0 || i >= n then 0 else i));
       true
 
 (** [run ?until ?max_events t] fires events until the heap is empty, the

@@ -58,6 +58,8 @@ type t = {
 and cpu = {
   cpu_global_id : int;
   node_id : int;
+  label : Engine.label;
+      (** footprint of this CPU's scheduler events: node-local, no block *)
   engine : Engine.t;
   quantum : float;
   switch_cost : float;
@@ -74,6 +76,8 @@ let make_cpu ~engine ~node_id ~cpu_global_id ~quantum ~switch_cost next_pid =
   {
     cpu_global_id;
     node_id;
+    label =
+      { Engine.lbl_node = node_id; lbl_block = -1; lbl_kind = Engine.Proc_step };
     engine;
     quantum;
     switch_cost;
@@ -116,7 +120,7 @@ let rec dispatch cpu =
           cpu.quantum_deadline <- Engine.now cpu.engine +. cpu.quantum;
           p.version <- p.version + 1;
           let v = p.version in
-          Engine.after cpu.engine cpu.switch_cost (fun () ->
+          Engine.after cpu.engine ~label:cpu.label cpu.switch_cost (fun () ->
               if p.version = v then step p))
 
 and enqueue_ready p =
@@ -135,7 +139,7 @@ and enqueue_ready p =
           let eng = cpu.engine in
           let fire_at = max (Engine.now eng) cpu.quantum_deadline in
           let v = c.version in
-          Engine.at eng fire_at (fun () ->
+          Engine.at eng ~label:cpu.label fire_at (fun () ->
               if c.version = v && c.state = Waiting then preempt c)
         end
 
@@ -176,14 +180,14 @@ and work_step p rem cont =
       let quantum_cap = if until_quantum > 0.0 then until_quantum else p.poll_interval in
       let slice = Float.min rem (Float.min p.poll_interval quantum_cap) in
       let v = p.version in
-      Engine.after eng slice (fun () ->
+      Engine.after eng ~label:cpu.label slice (fun () ->
           if p.version = v then begin
             p.work_time <- p.work_time +. slice;
             p.activity <- Work_left (rem -. slice, cont);
             let service = p.on_poll p in
             if service > 0.0 then begin
               p.msg_time <- p.msg_time +. service;
-              Engine.after eng service (fun () -> if p.version = v then step p)
+              Engine.after eng ~label:cpu.label service (fun () -> if p.version = v then step p)
             end
             else step p
           end)
@@ -206,7 +210,7 @@ and stall_step p pred cont =
     if service > 0.0 then begin
       p.msg_time <- p.msg_time +. service;
       let v = p.version in
-      Engine.after eng service (fun () -> if p.version = v then step p)
+      Engine.after eng ~label:cpu.label service (fun () -> if p.version = v then step p)
     end
     else if p.yield_waiting && exists_ready cpu then begin
       (* An idle server/protocol process with competition for the CPU:
@@ -239,7 +243,7 @@ and stall_step p pred cont =
       | Some s -> Signal.wait s (fun () -> if p.version = v && p.state = Waiting then step p)
       | None -> ());
       if exists_ready cpu then
-        Engine.at eng
+        Engine.at eng ~label:cpu.label
           (max (Engine.now eng) cpu.quantum_deadline)
           (fun () -> if p.version = v && p.state = Waiting then preempt p)
     end
@@ -267,7 +271,7 @@ let wakeup p =
 
 let sleep dt =
   let p = self () in
-  Engine.after p.cpu.engine dt (fun () -> wakeup p);
+  Engine.after p.cpu.engine ~label:p.cpu.label dt (fun () -> wakeup p);
   block ()
 
 let finish p =
@@ -283,7 +287,7 @@ let finish p =
 
 let schedule_step p =
   let v = p.version in
-  Engine.after p.cpu.engine 0.0 (fun () -> if p.version = v then step p)
+  Engine.after p.cpu.engine ~label:p.cpu.label 0.0 (fun () -> if p.version = v then step p)
 
 let run_fiber p body =
   let open Effect.Deep in

@@ -7,11 +7,14 @@
 
 type t = {
   engine : Engine.t;
+  label : Engine.label;
+      (** footprint stamped on waiter wake-up events (a per-node signal
+          passes its node so a Guided explorer can classify the wake) *)
   mutable waiters : (unit -> unit) list;
   mutable pulses : int;
 }
 
-let create engine = { engine; waiters = []; pulses = 0 }
+let create ?(label = Engine.no_label) engine = { engine; label; waiters = []; pulses = 0 }
 
 let pulses t = t.pulses
 
@@ -29,4 +32,4 @@ let pulse t =
   | ws ->
       t.waiters <- [];
       (* Fire in registration order for determinism. *)
-      List.iter (fun f -> Engine.after t.engine 0.0 f) (List.rev ws)
+      List.iter (fun f -> Engine.after t.engine ~label:t.label 0.0 f) (List.rev ws)

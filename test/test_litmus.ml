@@ -23,7 +23,7 @@ let test_scenario_seeds (sc : L.scenario) () =
 let test_litmus_jittered () =
   List.iter
     (fun (sc : L.scenario) ->
-      match E.jittered ~n:8 (L.as_scenario sc) with
+      match (E.jittered ~n:8 (L.as_scenario sc)).E.failures with
       | [] -> ()
       | f :: _ ->
           Alcotest.failf "%s under %s: %s" sc.L.name f.E.f_schedule
@@ -35,9 +35,9 @@ let test_litmus_jittered () =
 let test_litmus_exhaustive () =
   List.iter
     (fun (sc : L.scenario) ->
-      let fails, runs, _ = E.exhaustive ~max_runs:40 ~max_depth:5 (L.as_scenario sc) in
-      Alcotest.(check bool) (sc.L.name ^ " explored") true (runs > 0);
-      match fails with
+      let r = E.exhaustive ~max_runs:40 ~max_depth:5 (L.as_scenario sc) in
+      Alcotest.(check bool) (sc.L.name ^ " explored") true (r.E.stats.E.s_runs > 0);
+      match r.E.failures with
       | [] -> ()
       | f :: _ ->
           Alcotest.failf "%s under %s: %s" sc.L.name f.E.f_schedule
@@ -60,13 +60,13 @@ let synthetic_scenario schedule =
   if List.rev !log = [ 2; 1; 0 ] then [ "reverse order reached" ] else []
 
 let test_explore_exhaustive_finds () =
-  let fails, runs, exhausted = E.exhaustive ~max_runs:20 ~max_depth:4 synthetic_scenario in
-  Alcotest.(check bool) "tree exhausted" true exhausted;
-  Alcotest.(check int) "all 3! interleavings enumerated" 6 runs;
-  Alcotest.(check int) "exactly one bad schedule" 1 (List.length fails)
+  let r = E.exhaustive ~max_runs:20 ~max_depth:4 synthetic_scenario in
+  Alcotest.(check bool) "tree exhausted" true r.E.stats.E.s_complete;
+  Alcotest.(check int) "all 3! interleavings enumerated" 6 r.E.stats.E.s_runs;
+  Alcotest.(check int) "exactly one bad schedule" 1 (List.length r.E.failures)
 
 let test_explore_seeds_find_and_reproduce () =
-  match E.seeds ~n:64 synthetic_scenario with
+  match (E.seeds ~n:64 synthetic_scenario).E.failures with
   | [] -> Alcotest.fail "no seed in 1..64 reached the reverse interleaving"
   | f :: _ ->
       let seed = Option.get f.E.f_seed in
