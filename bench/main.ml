@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
    rewrite_time ablation micro faults checker granularity
-   granularity_smoke rce serve serve_smoke *)
+   granularity_smoke rce serve serve_smoke scale scale_smoke *)
 
 let experiments =
   [
@@ -28,6 +28,8 @@ let experiments =
     ("rce", Rce.run_rce);
     ("serve", Serve.run_serve);
     ("serve_smoke", Serve.run_serve_smoke);
+    ("scale", Scale.run_scale);
+    ("scale_smoke", Scale.run_scale_smoke);
   ]
 
 let () =

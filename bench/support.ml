@@ -6,13 +6,21 @@ module R = Shasta.Runtime
 
 let cluster ?(nodes = 4) ?(cpus = 4) ?(variant = Protocol.Config.Smp)
     ?(model = Protocol.Config.Rc) ?(checks = true) ?(direct_downgrade = true)
-    ?(shared = 8 * 1024 * 1024) () =
+    ?(shared = 8 * 1024 * 1024) ?(homing = Protocol.Config.Static)
+    ?(migration_threshold = Protocol.Config.default.Protocol.Config.migration_threshold)
+    ?(invariants = false) ?coalescing ?(plan = Fault.Plan.empty) () =
   C.create
     {
       Shasta.Config.default with
       Shasta.Config.net =
-        { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node = cpus };
+        {
+          Mchan.Net.default_config with
+          Mchan.Net.nodes;
+          cpus_per_node = cpus;
+          coalescing;
+        };
       checks_enabled = checks;
+      fault_plan = plan;
       protocol =
         {
           Protocol.Config.default with
@@ -20,6 +28,9 @@ let cluster ?(nodes = 4) ?(cpus = 4) ?(variant = Protocol.Config.Smp)
           model;
           direct_downgrade;
           shared_size = shared;
+          homing;
+          migration_threshold;
+          check_invariants = invariants;
         };
     }
 

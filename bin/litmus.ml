@@ -4,7 +4,7 @@
 
      dune exec bin/litmus.exe -- [--seeds N] [--jitter] [--explore]
                                  [--dpor] [--preemption-bound K]
-                                 [--mutate] [--out FILE]
+                                 [--mutate] [--only NAME] [--out FILE]
 
    Every run executes with the per-message invariant checker on, a
    quiescence sweep, the scenario's outcome check and the SC trace
@@ -26,6 +26,7 @@ let () =
   let dpor = ref false in
   let pbound = ref (-1) in
   let mutate = ref false in
+  let only = ref "" in
   let out = ref "" in
   let spec =
     [
@@ -37,12 +38,28 @@ let () =
         Arg.Set_int pbound,
         "K  bound preemptions per run under --dpor (default unbounded)" );
       ("--mutate", Arg.Set mutate, " mutation harness: seeded protocol bugs must be caught");
+      ( "--only",
+        Arg.Set_string only,
+        "NAME  restrict to the named scenario (skips the DPOR mutation pass)" );
       ("--out", Arg.Set_string out, "FILE  append failing schedules + stats JSON for CI");
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "litmus [options]";
+  let pick scenarios =
+    match !only with
+    | "" -> scenarios
+    | name -> (
+        match
+          List.filter (fun (sc : Check.Litmus.scenario) -> sc.Check.Litmus.name = name)
+            scenarios
+        with
+        | [] ->
+            prerr_endline ("litmus: no scenario named " ^ name);
+            exit 2
+        | picked -> picked)
+  in
   let artifact = Buffer.create 256 in
   let failed = ref false in
   let record fmt =
@@ -78,7 +95,7 @@ let () =
               (fun v -> record "scenario=%s seed=%d %s" name seed v)
               violations)
           fails)
-    Check.Litmus.all;
+    (pick Check.Litmus.all);
 
   if !jitter then begin
     Printf.printf "== litmus: %d jittered (delay-injection) schedules ==\n%!" !seeds;
@@ -97,7 +114,7 @@ let () =
                     f.Check.Explore.f_schedule v)
                 f.Check.Explore.f_violations)
             fails)
-      Check.Litmus.all
+      (pick Check.Litmus.all)
   end;
 
   if !explore then begin
@@ -127,7 +144,7 @@ let () =
                     f.Check.Explore.f_schedule v)
                 f.Check.Explore.f_violations)
             fails)
-      Check.Litmus.all
+      (pick Check.Litmus.all)
   end;
 
   if !dpor then begin
@@ -165,17 +182,19 @@ let () =
                     f.Check.Explore.f_schedule v)
                 f.Check.Explore.f_violations)
             r.Check.Explore.failures)
-      (Check.Litmus.all @ [ Check.Txn.scenario ]);
+      (pick (Check.Litmus.all @ [ Check.Txn.scenario ]));
 
-    Printf.printf "== litmus: mutation conviction under DPOR ==\n%!";
-    let reports = Check.Mutation.hunt_dpor () in
-    List.iter
-      (fun (r : Check.Mutation.report) ->
-        Format.printf "  %a@." Check.Mutation.pp_report r;
-        if r.Check.Mutation.m_caught = None then
-          record "mutation=%s missed under dpor after %d runs"
-            r.Check.Mutation.m_label r.Check.Mutation.m_runs)
-      reports
+    if !only = "" then begin
+      Printf.printf "== litmus: mutation conviction under DPOR ==\n%!";
+      let reports = Check.Mutation.hunt_dpor () in
+      List.iter
+        (fun (r : Check.Mutation.report) ->
+          Format.printf "  %a@." Check.Mutation.pp_report r;
+          if r.Check.Mutation.m_caught = None then
+            record "mutation=%s missed under dpor after %d runs"
+              r.Check.Mutation.m_label r.Check.Mutation.m_runs)
+        reports
+    end
   end;
 
   if !mutate then begin

@@ -18,6 +18,9 @@ let () =
   let stats = ref false in
   let faults = ref "" in
   let granularity = ref "" in
+  let migration = ref "static" in
+  let migration_threshold = ref Protocol.Config.default.Protocol.Config.migration_threshold in
+  let coalesce = ref false in
   let spec_list =
     String.concat ", " (List.map (fun s -> s.Apps.Harness.name) Apps.Registry.all)
   in
@@ -40,6 +43,13 @@ let () =
       ( "--granularity",
         Arg.Set_string granularity,
         " coherence granularity: " ^ Protocol.Layout.spec_help );
+      ( "--migration",
+        Arg.Set_string migration,
+        " home placement: static | first-touch | migratory" );
+      ( "--migration-threshold",
+        Arg.Set_int migration_threshold,
+        " consecutive remote exclusive requests before a migratory move" );
+      ("--coalesce", Arg.Set coalesce, " batch protocol messages per network link");
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_run [options]";
@@ -55,7 +65,12 @@ let () =
       Shasta.Config.default with
       Shasta.Config.fault_plan = plan;
       Shasta.Config.net =
-        { Mchan.Net.default_config with Mchan.Net.nodes = !nodes; cpus_per_node = !cpus };
+        {
+          Mchan.Net.default_config with
+          Mchan.Net.nodes = !nodes;
+          cpus_per_node = !cpus;
+          coalescing = (if !coalesce then Some Mchan.Net.default_coalesce else None);
+        };
       checks_enabled = !checks;
       protocol =
         {
@@ -66,6 +81,13 @@ let () =
           line_size = !line;
           regions;
           shared_size;
+          homing =
+            (match !migration with
+            | "first-touch" -> Protocol.Config.First_touch
+            | "migratory" -> Protocol.Config.Migratory
+            | "static" -> Protocol.Config.Static
+            | m -> raise (Arg.Bad ("unknown --migration policy " ^ m)));
+          migration_threshold = !migration_threshold;
         };
     }
   in
@@ -81,6 +103,18 @@ let () =
     (let b = Shasta.Cluster.total_breakdown cl in
      Shasta.Breakdown.normalize ~against:b b);
   Format.printf "%a" Shasta.Cluster.pp_fault_report cl;
+  (let migrations, bounces, in_flight = Shasta.Cluster.migration_stats cl in
+   if migrations + bounces + in_flight > 0 then begin
+     Printf.printf "migration: %d home transfers, %d bounced requests, %d in flight\n"
+       migrations bounces in_flight;
+     Format.printf "%a" Shasta.Cluster.pp_node_report cl
+   end);
+  (let net = Shasta.Cluster.protocol_engine cl |> Protocol.Engine.net in
+   let batches = Mchan.Net.batches net in
+   if batches > 0 then
+     Printf.printf "coalescing: %d messages in %d frames (%.2f msgs/frame)\n"
+       (Mchan.Net.batched_messages net) batches
+       (float_of_int (Mchan.Net.batched_messages net) /. float_of_int batches));
   if !stats || !granularity <> "" then
     Format.printf "%a" Shasta.Cluster.pp_layout_report cl;
   if !stats then

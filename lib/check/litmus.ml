@@ -28,25 +28,32 @@ type scenario = {
           the skip-inval-ack mutation) spins until here and is then
           reported by the finished/quiescence checks.  App-sized
           scenarios ({!Txn}) need a larger bound than the kernels. *)
+  tweak : Protocol.Config.t -> Protocol.Config.t;
+      (** scenario-specific protocol knobs (e.g. a home-migration
+          policy), applied on top of the litmus base config; the
+          identity for plain memory-model kernels *)
   body : C.t -> Trace.t -> (unit -> string list);
       (** spawns the processes; the returned thunk is the outcome check,
           run after the cluster quiesces *)
 }
 
-let config ?mutation ~model ~schedule () =
+let no_tweak (p : Protocol.Config.t) = p
+
+let config ?mutation ?(tweak = no_tweak) ~model ~schedule () =
   {
     Shasta.Config.default with
     Shasta.Config.net =
       { Mchan.Net.default_config with Mchan.Net.nodes = 4; cpus_per_node = 1 };
     schedule;
     protocol =
-      {
-        Protocol.Config.default with
-        Protocol.Config.shared_size = 256 * 1024;
-        model;
-        check_invariants = true;
-        mutation;
-      };
+      tweak
+        {
+          Protocol.Config.default with
+          Protocol.Config.shared_size = 256 * 1024;
+          model;
+          check_invariants = true;
+          mutation;
+        };
   }
 
 (* Litmus kernels quiesce in well under a simulated millisecond. *)
@@ -71,7 +78,9 @@ type outcome = {
 
 (** [run ?mutation scenario schedule] — one fresh, fully-checked run. *)
 let run ?mutation scenario schedule =
-  let cl = C.create (config ?mutation ~model:scenario.model ~schedule ()) in
+  let cl =
+    C.create (config ?mutation ~tweak:scenario.tweak ~model:scenario.model ~schedule ())
+  in
   let tr = Trace.create () in
   let outcome_check = scenario.body cl tr in
   let violations = ref [] in
@@ -124,6 +133,7 @@ let figure2 =
     model = Protocol.Config.Rc;
     full_sc = false;
     deadline = default_deadline;
+    tweak = no_tweak;
     body =
       (fun cl tr ->
         let a = C.alloc cl 64 in
@@ -171,6 +181,7 @@ let message_passing =
     model = Protocol.Config.Rc;
     full_sc = false;
     deadline = default_deadline;
+    tweak = no_tweak;
     body =
       (fun cl tr ->
         let data = C.alloc cl 64 and flag = C.alloc cl 64 in
@@ -196,6 +207,7 @@ let dekker =
     model = Protocol.Config.Sc;
     full_sc = true;
     deadline = default_deadline;
+    tweak = no_tweak;
     body =
       (fun cl tr ->
         let x = C.alloc cl 64 and y = C.alloc cl 64 in
@@ -219,6 +231,7 @@ let atomic_increment =
     model = Protocol.Config.Rc;
     full_sc = false;
     deadline = default_deadline;
+    tweak = no_tweak;
     body =
       (fun cl tr ->
         let counter = C.alloc cl 64 in
@@ -238,7 +251,75 @@ let atomic_increment =
               [ "atomic-increment: no domain holds a valid copy of the counter" ]);
   }
 
-let all = [ figure2; message_passing; dekker; atomic_increment ]
+(** Home migration: sequenced bursts of exclusive updates from two
+    different domains make the block's directory entry migrate twice
+    under the migratory policy while a third process polls the same
+    block, so its read misses race the {!Protocol.Ptypes.Home_transfer}
+    messages and exercise the bounce/forwarding-hint path.  Wherever the
+    block's static home lies, at least one of the bursts comes from a
+    remote domain, so a clean run always performs a transfer. *)
+let home_transfer =
+  let per = 6 in
+  {
+    name = "home-transfer";
+    model = Protocol.Config.Rc;
+    full_sc = false;
+    deadline = default_deadline;
+    tweak =
+      (fun p ->
+        {
+          p with
+          Protocol.Config.homing = Protocol.Config.Migratory;
+          (* Threshold 1: a burst issues one exclusive request and then
+             owns the block, so a longer streak never forms here. *)
+          migration_threshold = 1;
+          migration_region_min = 0;
+        });
+    body =
+      (fun cl tr ->
+        let x = C.alloc cl 64 and flag = C.alloc cl 64 in
+        traced_spawn cl tr 0 "burst0" (fun h ->
+            for _ = 1 to per do
+              ignore (R.atomic_add h x 1);
+              R.work_cycles h 40
+            done;
+            R.mb h;
+            R.store_int h flag 1);
+        traced_spawn cl tr 1 "burst1" (fun h ->
+            spin h flag;
+            for _ = 1 to per do
+              ignore (R.atomic_add h x 1);
+              R.work_cycles h 40
+            done);
+        traced_spawn cl tr 3 "watcher" (fun h ->
+            while R.load_int h x < 2 * per do
+              R.work_cycles h 30;
+              R.flush h;
+              Sim.Proc.work 1e-7
+            done);
+        fun () ->
+          let errs = ref [] in
+          (match Apps.Harness.read_valid cl x with
+          | Some v when v = Int64.of_int (2 * per) -> ()
+          | Some v ->
+              errs :=
+                Printf.sprintf "home-transfer: x = %Ld, expected %d" v (2 * per)
+                :: !errs
+          | None -> errs := "home-transfer: no domain holds a valid copy of x" :: !errs);
+          let migrations, _bounces, in_flight =
+            Protocol.Engine.migration_stats (C.protocol_engine cl)
+          in
+          if migrations < 1 then
+            errs := "home-transfer: migratory policy performed no home transfer" :: !errs;
+          if in_flight <> 0 then
+            errs :=
+              Printf.sprintf "home-transfer: %d home transfer(s) still in flight"
+                in_flight
+              :: !errs;
+          List.rev !errs);
+  }
+
+let all = [ figure2; message_passing; dekker; atomic_increment; home_transfer ]
 
 (** [as_scenario s] — adapt to the {!Explore} driver signature. *)
 let as_scenario s schedule = (run s schedule).violations

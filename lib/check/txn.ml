@@ -29,6 +29,7 @@ let scenario =
        simulated second; a wedged run parks in [pid_block]/stalls and
        quiesces early rather than spinning to the bound. *)
     deadline = 1.0;
+    tweak = Litmus.no_tweak;
     body =
       (fun cl _tr ->
         let committed1 = ref false and committed2 = ref false in

@@ -9,6 +9,17 @@
     and a per-node {!Sim.Signal} pulsed on arrival so that stalled
     processes wake exactly at the arrival instant. *)
 
+type coalesce = {
+  co_window : float;  (** max time a message may wait for companions, seconds *)
+  co_max_msgs : int;  (** flush early at this many queued messages *)
+  co_max_bytes : int;  (** flush early at this many queued payload bytes *)
+}
+
+(** A window of one one-way latency trades at most one hop of added
+    delay for fewer, larger frames — at 64+ nodes the protocol drowns in
+    singleton messages otherwise. *)
+let default_coalesce = { co_window = 4.0e-6; co_max_msgs = 16; co_max_bytes = 8192 }
+
 type config = {
   nodes : int;
   cpus_per_node : int;
@@ -17,6 +28,10 @@ type config = {
   intra_node_latency : float;  (** shared-memory message between local processes *)
   quantum : float;  (** OS scheduling quantum *)
   switch_cost : float;  (** context switch cost *)
+  coalescing : coalesce option;
+      (** per-(src, dst)-link batching of remote messages; [None] (the
+          default) is the exact legacy path — every message its own
+          frame, bit-identical timing *)
 }
 
 (** Constants of the prototype cluster in Section 6.1: four AlphaServer
@@ -30,7 +45,22 @@ let default_config =
     intra_node_latency = 1.0e-6;
     quantum = 10.0e-3;
     switch_cost = 25.0e-6;
+    coalescing = None;
   }
+
+(* One open batch per directed (src, dst) link: delivers queued newest
+   first, flushed by a window timer or by size/count overflow.  The
+   generation counter invalidates a timer whose batch was already
+   flushed early (and whose slot may since hold a newer batch). *)
+type pending = {
+  mutable p_delivers : (unit -> unit) list;
+  mutable p_count : int;
+  mutable p_bytes : int;
+  mutable p_deadline : float;
+  mutable p_last_at : float;  (** latest sender cursor in the batch *)
+  mutable p_gen : int;
+  mutable p_open : bool;
+}
 
 type t = {
   engine : Sim.Engine.t;
@@ -41,6 +71,9 @@ type t = {
   next_pid : int ref;
   mutable remote_messages : int;
   mutable local_messages : int;
+  mutable batches : int;  (** coalesced frames put on the wire *)
+  mutable batched_messages : int;  (** messages those frames carried *)
+  pending : (int * int, pending) Hashtbl.t;  (** open batches, by (src, dst) *)
   mutable reliable : Reliable.t option;
       (** installed only under a non-empty fault plan; [None] keeps the
           raw perfectly-reliable path with zero transport overhead *)
@@ -75,6 +108,9 @@ let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config)
       next_pid;
       remote_messages = 0;
       local_messages = 0;
+      batches = 0;
+      batched_messages = 0;
+      pending = Hashtbl.create 64;
       reliable = None;
     }
   in
@@ -120,15 +156,90 @@ let nth_cpu t i =
     none): the delivery event is labeled with it plus the destination
     node, so a {!Sim.Engine.Guided} explorer can tell which same-time
     deliveries commute. *)
+(* Put one frame on the wire: through the reliable transport when a
+   fault plan is active, raw link + latency otherwise. *)
+let wire_send t ~at ~src_node ~dst_node ~size deliver =
+  let label =
+    { Sim.Engine.lbl_node = dst_node; lbl_block = -1; lbl_kind = Sim.Engine.Message }
+  in
+  match t.reliable with
+  | Some r -> Reliable.send r ~at ~src_node ~dst_node ~size deliver
+  | None ->
+      let leaves = Link.transmit t.tx.(src_node) ~now:at ~size in
+      let arrival = leaves +. t.config.one_way_latency in
+      Sim.Engine.at t.engine ~label arrival (fun () ->
+          deliver ();
+          Sim.Signal.pulse t.node_signal.(dst_node))
+
+(* Close the batch and transmit it as a single frame; the carried
+   delivers run back-to-back in FIFO order at the frame's arrival, with
+   one pulse for the lot. *)
+let flush_batch t ~src_node ~dst_node ~at p =
+  p.p_open <- false;
+  let delivers = List.rev p.p_delivers in
+  p.p_delivers <- [];
+  t.batches <- t.batches + 1;
+  t.batched_messages <- t.batched_messages + p.p_count;
+  wire_send t ~at ~src_node ~dst_node ~size:p.p_bytes (fun () ->
+      List.iter (fun d -> d ()) delivers)
+
+let coalesced_send t co ~now ~src_node ~dst_node ~size deliver =
+  let key = (src_node, dst_node) in
+  let p =
+    match Hashtbl.find_opt t.pending key with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            p_delivers = [];
+            p_count = 0;
+            p_bytes = 0;
+            p_deadline = 0.0;
+            p_last_at = 0.0;
+            p_gen = 0;
+            p_open = false;
+          }
+        in
+        Hashtbl.replace t.pending key p;
+        p
+  in
+  if not p.p_open then begin
+    p.p_open <- true;
+    p.p_delivers <- [ deliver ];
+    p.p_count <- 1;
+    p.p_bytes <- size;
+    p.p_deadline <- now +. co.co_window;
+    p.p_last_at <- now;
+    p.p_gen <- p.p_gen + 1;
+    let gen = p.p_gen in
+    let label =
+      { Sim.Engine.lbl_node = dst_node; lbl_block = -1; lbl_kind = Sim.Engine.Message }
+    in
+    Sim.Engine.at t.engine ~label p.p_deadline (fun () ->
+        (* A handler's time cursor may have carried a queued message past
+           the window deadline; the frame cannot leave before its last
+           message was sent. *)
+        if p.p_open && p.p_gen = gen then
+          flush_batch t ~src_node ~dst_node ~at:(Float.max p.p_deadline p.p_last_at) p)
+  end
+  else begin
+    p.p_delivers <- deliver :: p.p_delivers;
+    p.p_count <- p.p_count + 1;
+    p.p_bytes <- p.p_bytes + size;
+    p.p_last_at <- Float.max p.p_last_at now;
+    if p.p_count >= co.co_max_msgs || p.p_bytes >= co.co_max_bytes then
+      flush_batch t ~src_node ~dst_node ~at:p.p_last_at p
+  end
+
 let send t ?at ?(block = -1) ~src_node ~dst_node ~size deliver =
   let now = match at with Some x -> x | None -> Sim.Engine.now t.engine in
-  let label =
-    { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
-  in
   if src_node = dst_node then begin
     (* Intra-node messages move through shared memory, not the Memory
        Channel: the fault model never touches them. *)
     t.local_messages <- t.local_messages + 1;
+    let label =
+      { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
+    in
     let arrival = now +. t.config.intra_node_latency in
     Sim.Engine.at t.engine ~label arrival (fun () ->
         deliver ();
@@ -136,15 +247,23 @@ let send t ?at ?(block = -1) ~src_node ~dst_node ~size deliver =
   end
   else begin
     t.remote_messages <- t.remote_messages + 1;
-    match t.reliable with
-    | Some r -> Reliable.send r ~at:now ~src_node ~dst_node ~size deliver
-    | None ->
-        let leaves = Link.transmit t.tx.(src_node) ~now ~size in
-        let arrival = leaves +. t.config.one_way_latency in
-        Sim.Engine.at t.engine ~label arrival (fun () ->
-            deliver ();
-            Sim.Signal.pulse t.node_signal.(dst_node))
+    match t.config.coalescing with
+    | Some co -> coalesced_send t co ~now ~src_node ~dst_node ~size deliver
+    | None -> (
+        let label =
+          { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
+        in
+        match t.reliable with
+        | Some r -> Reliable.send r ~at:now ~src_node ~dst_node ~size deliver
+        | None ->
+            let leaves = Link.transmit t.tx.(src_node) ~now ~size in
+            let arrival = leaves +. t.config.one_way_latency in
+            Sim.Engine.at t.engine ~label arrival (fun () ->
+                deliver ();
+                Sim.Signal.pulse t.node_signal.(dst_node)))
   end
 
 let remote_messages t = t.remote_messages
 let local_messages t = t.local_messages
+let batches t = t.batches
+let batched_messages t = t.batched_messages

@@ -1,0 +1,96 @@
+(** The simulated cluster: nodes of SMP processors connected by a
+    Memory-Channel-like network.
+
+    The Memory Channel gives protected user-level access: a process
+    transmits with a simple store to a mapped page (no OS involvement),
+    and receivers detect arrival by polling a single cachable location.
+    We model that as: constant [one_way_latency] + transmit occupancy on
+    the sender's link ({!Link}), delivery into a {!Mailbox} by a
+    callback, and a per-node {!Sim.Signal} pulsed on arrival so that
+    stalled processes wake exactly at the arrival instant. *)
+
+(** Per-link message batching: a remote message waits up to [co_window]
+    for companions headed down the same (src, dst) link; the batch is
+    flushed early at [co_max_msgs] messages or [co_max_bytes] payload
+    bytes and travels as one frame (one link occupancy, one arrival
+    event, one wakeup pulse), with the carried deliveries applied in
+    FIFO order. *)
+type coalesce = {
+  co_window : float;  (** max time a message may wait for companions, seconds *)
+  co_max_msgs : int;  (** flush early at this many queued messages *)
+  co_max_bytes : int;  (** flush early at this many queued payload bytes *)
+}
+
+val default_coalesce : coalesce
+
+type config = {
+  nodes : int;
+  cpus_per_node : int;
+  one_way_latency : float;  (** user process to user process, seconds *)
+  bandwidth : float;  (** per-link, bytes/second *)
+  intra_node_latency : float;  (** shared-memory message between local processes *)
+  quantum : float;  (** OS scheduling quantum *)
+  switch_cost : float;  (** context switch cost *)
+  coalescing : coalesce option;
+      (** per-(src, dst)-link batching of remote messages; [None] (the
+          default) is the exact legacy path — every message its own
+          frame, bit-identical timing *)
+}
+
+(** Constants of the prototype cluster in Section 6.1: four AlphaServer
+    4100s (4 x 300 MHz each), 4 us one-way latency, 60 MB/s per link. *)
+val default_config : config
+
+type t
+
+val create :
+  ?plan:Fault.Plan.t ->
+  ?reliable_cfg:Reliable.config ->
+  ?schedule:Sim.Engine.schedule ->
+  config ->
+  t
+
+(** The reliable transport, installed only under a non-empty fault plan;
+    [None] means the raw perfectly-reliable path is in use. *)
+val reliable : t -> Reliable.t option
+
+val engine : t -> Sim.Engine.t
+val config : t -> config
+val cpu : t -> node:int -> cpu:int -> Sim.Proc.cpu
+val node_signal : t -> int -> Sim.Signal.t
+val total_cpus : t -> int
+
+(** [nth_cpu t i] is processor [i] in node-major order (processors 0..3
+    are node 0, 4..7 node 1, ...), matching the paper's placement where
+    2- and 4-processor runs use one node and 16-processor runs use four. *)
+val nth_cpu : t -> int -> Sim.Proc.cpu
+
+(** [send t ?at ?block ~src_node ~dst_node ~size deliver] transmits a
+    message; [deliver] runs at the arrival time (it should enqueue into
+    the right mailbox), after which the destination node's signal is
+    pulsed.  [at] defaults to the current time; protocol handlers that
+    service several messages back-to-back pass their time cursor.
+    [block] declares the coherence block the message concerns (default
+    none): the delivery event is labeled with it plus the destination
+    node, so a {!Sim.Engine.Guided} explorer can tell which same-time
+    deliveries commute.  With [config.coalescing] set, remote messages
+    may be held briefly and delivered together; intra-node messages are
+    never coalesced. *)
+val send :
+  t ->
+  ?at:float ->
+  ?block:int ->
+  src_node:int ->
+  dst_node:int ->
+  size:int ->
+  (unit -> unit) ->
+  unit
+
+val remote_messages : t -> int
+val local_messages : t -> int
+
+(** Coalesced frames put on the wire, and the messages they carried;
+    both 0 when [config.coalescing] is [None]. *)
+val batches : t -> int
+
+val batched_messages : t -> int

@@ -45,6 +45,18 @@ let default_costs =
     lock_acquire_queue = 1.0e-6;
   }
 
+(** Home-reassignment policy for the sharded directory.  [Static] keeps
+    every block at the home chosen at [init] (the paper's protocol, and
+    the bit-identical default).  [First_touch] moves a block's directory
+    entry to the first remote domain that requests it; [Migratory] moves
+    it to a domain that has issued [migration_threshold] consecutive
+    exclusive requests — the owner-predicts-next pattern, so recalls for
+    migrating data collapse from 4 network hops to an intra-domain
+    round trip.  Both policies transfer an entry only while it is
+    quiescent (no transaction in flight, no deferred requests); requests
+    racing the move are bounced back with a forwarding hint. *)
+type homing = Static | First_touch | Migratory
+
 (** Deliberately seeded protocol bugs, consumed by the mutation harness
     in [lib/check] to prove the invariant checker actually fails.  Each
     one disables a step the protocol needs for coherence; [None] is the
@@ -75,6 +87,13 @@ type t = {
   check_invariants : bool;
       (** cross-check directory vs state tables after every message *)
   mutation : mutation option;  (** seeded protocol bug, [None] = correct *)
+  homing : homing;  (** dynamic home-reassignment policy *)
+  migration_threshold : int;
+      (** [Migratory]: consecutive exclusive requests from one remote
+          domain before the home follows it *)
+  migration_region_min : int;
+      (** gate: a block's region must have seen at least this many misses
+          (its {!Layout} counters) before its blocks may migrate *)
 }
 
 let default =
@@ -91,6 +110,9 @@ let default =
     max_outstanding_stores = 16;
     check_invariants = false;
     mutation = None;
+    homing = Static;
+    migration_threshold = 3;
+    migration_region_min = 0;
   }
 
 (** [layout t] compiles the region list into the per-chunk lookup

@@ -26,6 +26,9 @@ type miss_kind = MRead | MStore | MSc | MPrefetch
 type miss = {
   m_block : int;
   m_kind : miss_kind;
+  m_req : Ptypes.req_kind;
+      (** the request kind on the wire, re-sent verbatim when a bounce
+          (a [Home_hint]) reveals the request went to a stale home *)
   mutable m_done : bool;
   mutable m_sc_ok : bool;
   m_sc_store : (int * Alpha.Insn.width * int64) option;
@@ -47,6 +50,8 @@ type pstats = {
   mutable mb_stall : float;
   mutable messages_handled : int;
   mutable reissued_stores : int;
+  mutable bounces : int;
+      (** requests re-issued after a [Home_hint] (the home had moved) *)
 }
 
 let empty_pstats () =
@@ -63,6 +68,7 @@ let empty_pstats () =
     mb_stall = 0.0;
     messages_handled = 0;
     reissued_stores = 0;
+    bounces = 0;
   }
 
 type pcb = {
@@ -100,6 +106,14 @@ and domain = {
       (** per block: how many home-originated ordered messages were applied *)
   mutable parked_dom : Ptypes.msg list;
       (** invalidations/recalls that arrived ahead of sequence order *)
+  home_hint : (int, int) Hashtbl.t;
+      (** this domain's (possibly stale) view of migrated homes: blocks
+          absent from the table are assumed to live at their static home.
+          Updated by [Home_hint] bounces and by the domain's own
+          transfers; never consulted when [Config.homing = Static]. *)
+  mutable homes_in : int;  (** directory entries this domain received *)
+  mutable homes_out : int;  (** directory entries this domain gave away *)
+  mutable dom_bounces : int;  (** hints received after requests hit a stale home *)
 }
 
 and local_txn = { mutable lt_awaiting : int; lt_to_shared : bool }
@@ -112,6 +126,8 @@ and rstat = {
   mutable r_data_bytes : int;  (** payload bytes moved in data replies/writebacks *)
 }
 
+and transfer = { tr_from : int; tr_to : int }
+
 and t = {
   cfg : Config.t;
   net : Mchan.Net.t;
@@ -121,7 +137,18 @@ and t = {
   pcbs : (int, pcb) Hashtbl.t;
   mutable home_domains : int array;
   home_override : int array;  (** per block: forced home domain, or -1 *)
+  home : int array;
+      (** authoritative per-block home — the sharded directory map.
+          Filled at [init] from the static placement; updated the moment
+          a transfer is initiated (the entry may still be in flight:
+          [transfers] says so).  Domains route by their own hints, not by
+          this array — only arrival-side checks may consult it. *)
+  transfers : (int, transfer) Hashtbl.t;
+      (** blocks whose directory entry currently lives in the transport *)
   rstats : rstat array;  (** per-region protocol traffic counters *)
+  mutable migrations : int;  (** home transfers completed *)
+  mutable transfer_acks : int;  (** transfer acks received by old homes *)
+  mutable bounces : int;  (** requests bounced off a stale or in-flight home *)
   mutable initialized : bool;
   mutable mutation_fires : int;  (** times the seeded bug was exercised *)
   mutable invariant_checks : int;  (** per-message invariant sweeps run *)
@@ -166,7 +193,10 @@ let msg_block_seq = function
   | Ptypes.Recall { block; seq; _ } ->
       Some (block, seq)
   | Ptypes.Request _ | Ptypes.Writeback _ | Ptypes.Inval_ack _ | Ptypes.Downgrade _
-  | Ptypes.Downgrade_ack _ ->
+  | Ptypes.Downgrade_ack _
+  (* Transfer traffic is applied at the network interface, not through a
+     domain's ordered mailbox; its own ordering is the transfer protocol. *)
+  | Ptypes.Home_transfer _ | Ptypes.Home_transfer_ack _ | Ptypes.Home_hint _ ->
       None
 
 let seq_expected d b = 1 + Option.value (Hashtbl.find_opt d.applied_seq b) ~default:0
@@ -192,6 +222,11 @@ let create ~cfg ~net =
       pcbs = Hashtbl.create 64;
       home_domains = [||];
       home_override = Array.make n_blocks (-1);
+      home = Array.make n_blocks (-1);
+      transfers = Hashtbl.create 16;
+      migrations = 0;
+      transfer_acks = 0;
+      bounces = 0;
       rstats =
         Array.init (Layout.n_regions layout) (fun _ ->
             { r_read_misses = 0; r_store_misses = 0; r_invals = 0; r_recalls = 0; r_data_bytes = 0 });
@@ -217,6 +252,10 @@ let create ~cfg ~net =
             pending_local = Hashtbl.create 16;
             applied_seq = Hashtbl.create 64;
             parked_dom = [];
+            home_hint = Hashtbl.create 16;
+            homes_in = 0;
+            homes_out = 0;
+            dom_bounces = 0;
           }
         in
         t.domains <- d :: t.domains;
@@ -240,6 +279,10 @@ let fresh_domain t ~node ~id =
       pending_local = Hashtbl.create 16;
       applied_seq = Hashtbl.create 64;
       parked_dom = [];
+      home_hint = Hashtbl.create 16;
+      homes_in = 0;
+      homes_out = 0;
+      dom_bounces = 0;
     }
   in
   t.domains <- d :: t.domains;
@@ -291,18 +334,36 @@ let layout t = t.layout
 let block_of_addr t addr = Layout.block_of_addr t.layout addr
 let block_bytes t b = Layout.block_len t.layout b
 
-let home_domain_of_block t b =
+(* The static placement chosen at [init]: override if any, else blocks
+   striped round-robin over the home domains.  This is where every block
+   starts; migration moves it in [t.home] afterwards. *)
+let static_home t b =
   if t.home_override.(b) >= 0 then t.home_override.(b)
   else
     let n = Array.length t.home_domains in
     t.home_domains.(b mod n)
 
+(** [home_domain_of_block t b] — the block's current home: where its
+    directory entry lives, or (if a transfer is in flight) where it will
+    land.  Authoritative — an omniscient view only arrival-side checks
+    and the invariant checker may use; request routing goes through each
+    domain's own {!hinted_home}. *)
+let home_domain_of_block t b = t.home.(b)
+
+(* A domain's own view of the home map: its sparse hint table over the
+   static placement.  May be stale — a request routed here can bounce. *)
+let hinted_home t d b =
+  match Hashtbl.find_opt d.home_hint b with Some h -> h | None -> static_home t b
+
 (** [set_home t ~addr ~len ~domain] — the "home placement optimisation"
     used for FMM, LU-Contiguous and Ocean (Section 6.4): blocks in
     [\[addr, addr+len)] are homed at [domain], typically the domain of
-    the processor that predominantly writes them.  Must precede [init]. *)
+    the processor that predominantly writes them.  Must precede [init];
+    later ranges overwrite earlier overlapping ones. *)
 let set_home t ~addr ~len ~domain =
   if t.initialized then invalid_arg "set_home after init";
+  if domain < 0 || domain >= Directory.max_domains then
+    invalid_arg (Printf.sprintf "set_home: domain %d outside 0..%d" domain (Directory.max_domains - 1));
   Layout.iter_range t.layout ~addr ~len (fun b -> t.home_override.(b) <- domain)
 
 (** [init t ?homes ()] finalises setup: picks the home domains (default:
@@ -331,7 +392,20 @@ let init ?homes t =
         let candidates = if candidates = [] then domains else candidates in
         Array.of_list (List.map (fun d -> d.dom_id) candidates));
   if Array.length t.home_domains = 0 then invalid_arg "Engine.init: no home domains";
+  Array.iter
+    (fun d ->
+      if not (Hashtbl.mem t.domain_tbl d) then
+        invalid_arg (Printf.sprintf "Engine.init: home domain %d does not exist" d))
+    t.home_domains;
   let n_blocks = Layout.n_blocks t.layout in
+  (* The shard map starts as the static placement; any home override
+     naming a non-existent domain is caught here, before first use. *)
+  for b = 0 to n_blocks - 1 do
+    let h = static_home t b in
+    if not (Hashtbl.mem t.domain_tbl h) then
+      invalid_arg (Printf.sprintf "Engine.init: block %d homed at non-existent domain %d" b h);
+    t.home.(b) <- h
+  done;
   List.iter
     (fun d ->
       for b = 0 to n_blocks - 1 do
@@ -366,7 +440,10 @@ let msg_block = function
   | Ptypes.Writeback { block; _ }
   | Ptypes.Inval_ack { block; _ }
   | Ptypes.Downgrade { block; _ }
-  | Ptypes.Downgrade_ack { block; _ } ->
+  | Ptypes.Downgrade_ack { block; _ }
+  | Ptypes.Home_transfer { block; _ }
+  | Ptypes.Home_transfer_ack { block; _ }
+  | Ptypes.Home_hint { block; _ } ->
       block
 
 let send_to_domain t ~cur ~from_node dst_domain msg =
@@ -435,6 +512,87 @@ let invalidate_block_data t d b =
     end
   end
   else List.iter (fun m -> m.deferred_flags <- b :: m.deferred_flags) deferring
+
+(* --- sharded-directory home transfers ---
+
+   A directory entry moves homes through a [Home_transfer] /
+   [Home_transfer_ack] exchange; a request that races the move is bounced
+   back with a [Home_hint].  Between send and receive the entry lives in
+   the transport (the IronFleet delegation idiom): [t.transfers] names
+   such blocks and both the old and the new home bounce requests for
+   them.  Transfer traffic is applied directly at the network interface
+   on arrival — Memory-Channel remote-write semantics — never through a
+   domain mailbox, so a transfer completes even after every process of
+   the destination node has stopped polling. *)
+
+(* Per-message invariant sweep for transfer arrivals; wired to the real
+   checker (defined with the rest of the checking machinery, below) once
+   it exists. *)
+let transfer_check : (t -> Ptypes.msg -> unit) ref = ref (fun _ _ -> ())
+
+let rec apply_transport t ~at msg =
+  match msg with
+  | Ptypes.Home_transfer { block = b; owner; sharers; seqs; data; from_domain } ->
+      let tr =
+        match Hashtbl.find_opt t.transfers b with
+        | Some tr -> tr
+        | None -> invalid_arg "Home_transfer for a block not in flight"
+      in
+      let d = domain_by_id t tr.tr_to in
+      let e = Directory.install d.dir ~block:b ~owner ~sharers ~seqs in
+      (match data with
+      | Some bytes -> (
+          (* The new home must be able to serve data replies from its own
+             image.  If it already holds the block S/E the image is
+             current; otherwise (I, or P with its own miss still in
+             flight) the carried copy is installed and the domain joins
+             the sharer set. *)
+          match tab_get d.shared_tab b with
+          | Ptypes.Shared | Ptypes.Exclusive -> ()
+          | Ptypes.Invalid | Ptypes.Pending ->
+              Memimg.write_block d.img ~block:b bytes;
+              replay_recorded_stores t d b;
+              tab_set d.shared_tab b Ptypes.Shared;
+              if not (Directory.is_sharer e d.dom_id) then Directory.add_sharer e d.dom_id)
+      | None -> ());
+      Hashtbl.remove t.transfers b;
+      Hashtbl.replace d.home_hint b d.dom_id;
+      d.homes_in <- d.homes_in + 1;
+      t.migrations <- t.migrations + 1;
+      dbg b "[%.9f] XFER install blk=%d at dom%d (from dom%d)" at b d.dom_id from_domain;
+      let cur = ref (at +. t.cfg.Config.costs.Config.handler) in
+      send_transport t ~cur ~from_node:d.dom_node from_domain
+        (Ptypes.Home_transfer_ack { block = b; from_domain = d.dom_id });
+      !transfer_check t msg
+  | Ptypes.Home_transfer_ack { block = b; from_domain } ->
+      dbg b "[%.9f] XFER ack blk=%d from dom%d" at b from_domain;
+      t.transfer_acks <- t.transfer_acks + 1
+  | Ptypes.Home_hint { block = b; home = h; to_pid } -> (
+      let pcb = Hashtbl.find t.pcbs to_pid in
+      Hashtbl.replace pcb.dom.home_hint b h;
+      pcb.dom.dom_bounces <- pcb.dom.dom_bounces + 1;
+      pcb.stats.bounces <- pcb.stats.bounces + 1;
+      dbg b "[%.9f] BOUNCE pid%d blk=%d -> dom%d" at to_pid b h;
+      match Hashtbl.find_opt pcb.outstanding b with
+      | Some miss when not miss.m_done ->
+          (* Re-issue the bounced request to the hinted home.  The hinted
+             home may itself still see the entry in flight and bounce
+             again; the chase terminates because the transfer's arrival
+             is a fixed, already-scheduled event and every bounce costs a
+             round trip. *)
+          let cur = ref (at +. t.cfg.Config.costs.Config.send) in
+          send_to_domain t ~cur ~from_node:pcb.dom.dom_node h
+            (Ptypes.Request
+               { kind = miss.m_req; block = b; from_domain = pcb.dom.dom_id; from_pid = pcb.pid })
+      | _ -> ())
+  | _ -> invalid_arg "apply_transport: not transfer traffic"
+
+and send_transport t ~cur ~from_node dst_domain msg =
+  count_data t msg;
+  let dst = domain_by_id t dst_domain in
+  Mchan.Net.send t.net ~at:!cur ~block:(msg_block msg) ~src_node:from_node
+    ~dst_node:dst.dom_node ~size:(Ptypes.msg_size msg) (fun () ->
+      apply_transport t ~at:(Sim.Engine.now (Mchan.Net.engine t.net)) msg)
 
 (* Invalidate (shared -> invalid) at a domain; acks back to the home.
    Two of the seeded mutations live here: [Skip_invalidate] acknowledges
@@ -531,6 +689,28 @@ let apply_recall t d ~cur ~servicer b ~to_shared ~home_domain =
 
 let rec handle_request t home ~cur msg =
   match msg with
+  | Ptypes.Request { kind = _; block = b; from_domain = _; from_pid }
+    when t.home.(b) <> home.dom_id || Hashtbl.mem t.transfers b ->
+      (* Stale or in-flight home: bounce with a forwarding hint, before
+         any directory lookup — allocating an entry here would duplicate
+         state the real home holds.  Unreachable under [Static] homing:
+         hints then always equal the static map and nothing is ever in
+         flight. *)
+      cur := !cur +. t.cfg.Config.costs.Config.handler;
+      t.bounces <- t.bounces + 1;
+      (* Hint the authoritative home, not this domain's own stale
+         forwarding note: a block that has moved on several times since
+         we gave it away would otherwise send the requester on a walk
+         down the whole chain of past homes, one bounce per hop. *)
+      let hint =
+        match Hashtbl.find_opt t.transfers b with
+        | Some tr -> tr.tr_to  (* in flight: point at where it will land *)
+        | None -> t.home.(b)
+      in
+      dbg b "[%.9f] HOME bounce blk=%d at dom%d -> dom%d" !cur b home.dom_id hint;
+      let rdom = (Hashtbl.find t.pcbs from_pid).dom in
+      send_transport t ~cur ~from_node:home.dom_node rdom.dom_id
+        (Ptypes.Home_hint { block = b; home = hint; to_pid = from_pid })
   | Ptypes.Request { kind; block = b; from_domain; from_pid } -> (
       let entry = Directory.entry home.dir b in
       match entry.Directory.busy with
@@ -543,6 +723,7 @@ let rec handle_request t home ~cur msg =
             (Format.asprintf "%a" Ptypes.pp_kind kind) b from_domain from_pid
             (match entry.Directory.owner with Some o -> string_of_int o | None -> "-")
             (String.concat "," (List.map string_of_int (Directory.sharers_list entry)));
+          observe_request t home entry ~kind ~from_domain;
           let reply_data ~exclusive =
             let data = Memimg.read_block home.img ~block:b in
             send_to_pid t ~cur ~from_node:home.dom_node from_pid
@@ -555,7 +736,7 @@ let rec handle_request t home ~cur msg =
                    seq = Directory.stamp entry from_domain;
                  })
           in
-          match kind with
+          (match kind with
           | Ptypes.Read -> (
               match entry.Directory.owner with
               | Some o when o <> from_domain ->
@@ -672,7 +853,10 @@ let rec handle_request t home ~cur msg =
                       }
                     in
                     if !awaiting = 0 then grant t home ~cur entry txn
-                    else entry.Directory.busy <- Some txn)))
+                    else entry.Directory.busy <- Some txn));
+          (* A request that completed without a transaction may leave the
+             entry quiescent with a fresh policy verdict. *)
+          maybe_migrate t home ~cur b))
   | _ -> invalid_arg "handle_request: not a request"
 
 (* Grant the pending exclusive transaction: all invalidations are done. *)
@@ -717,7 +901,76 @@ and finish_txn t home ~cur entry =
           handle_request t home ~cur msg;
           drain ()
   in
-  drain ()
+  drain ();
+  maybe_migrate t home ~cur entry.Directory.block
+
+(* Feed the home-reassignment policy one served request.  Pure
+   observation: the verdict ([want_home]) is consumed by [maybe_migrate]
+   the next time the entry is quiescent. *)
+and observe_request t home entry ~kind ~from_domain =
+  (match t.cfg.Config.homing with
+  | Config.Static -> ()
+  | Config.First_touch ->
+      if (not entry.Directory.touched) && from_domain <> home.dom_id then
+        entry.Directory.want_home <- Some from_domain
+  | Config.Migratory -> (
+      match kind with
+      | Ptypes.Read -> ()
+      | Ptypes.Read_ex | Ptypes.Upgrade | Ptypes.Sc_upgrade ->
+          if from_domain = entry.Directory.last_excl then
+            entry.Directory.excl_streak <- entry.Directory.excl_streak + 1
+          else begin
+            entry.Directory.last_excl <- from_domain;
+            entry.Directory.excl_streak <- 1
+          end;
+          (* Gate on the block's region being hot enough, per the
+             region-level miss counters — cold regions never migrate. *)
+          let r = t.rstats.(Layout.block_region t.layout entry.Directory.block) in
+          if
+            from_domain <> home.dom_id
+            && entry.Directory.excl_streak >= t.cfg.Config.migration_threshold
+            && r.r_read_misses + r.r_store_misses >= t.cfg.Config.migration_region_min
+          then entry.Directory.want_home <- Some from_domain));
+  entry.Directory.touched <- true
+
+(* Consume a policy verdict: start the transfer if the entry is
+   quiescent.  A verdict set while a transaction or deferred work is
+   pending simply waits for the next quiescent moment. *)
+and maybe_migrate t home ~cur b =
+  if t.cfg.Config.homing <> Config.Static then
+    match Directory.find home.dir b with
+    | None -> ()
+    | Some e -> (
+        match e.Directory.want_home with
+        | Some dst when dst = home.dom_id -> e.Directory.want_home <- None
+        | Some dst
+          when e.Directory.busy = None
+               && Queue.is_empty e.Directory.deferred
+               && t.home.(b) = home.dom_id
+               && not (Hashtbl.mem t.transfers b) ->
+            e.Directory.want_home <- None;
+            initiate_transfer t home ~cur b ~dst
+        | _ -> ())
+
+and initiate_transfer t home ~cur b ~dst =
+  let e = Directory.entry home.dir b in
+  let owner, sharers, seqs = Directory.export e in
+  (* With no owner the home's copy is the authoritative data and must
+     travel with the entry (the home is always a sharer then). *)
+  let data = if owner = None then Some (Memimg.read_block home.img ~block:b) else None in
+  Directory.remove home.dir b;
+  Hashtbl.replace t.transfers b { tr_from = home.dom_id; tr_to = dst };
+  t.home.(b) <- dst;
+  (* Leave this domain's own routing hint pointing at itself: once the
+     entry has moved on several times, "ask me and get bounced locally"
+     is a cheaper start than chasing the one-hop-forward note a
+     give-away could record here. *)
+  home.homes_out <- home.homes_out + 1;
+  dbg b "[%.9f] XFER blk=%d dom%d -> dom%d owner=%s" !cur b home.dom_id dst
+    (match owner with Some o -> string_of_int o | None -> "-");
+  cur := !cur +. t.cfg.Config.costs.Config.send;
+  send_transport t ~cur ~from_node:home.dom_node dst
+    (Ptypes.Home_transfer { block = b; owner; sharers; seqs; data; from_domain = home.dom_id })
 
 let handle_writeback t home ~cur b data ~from_domain =
   let entry = Directory.entry home.dir b in
@@ -889,6 +1142,8 @@ let handle_domain_msg t d ~cur ~servicer msg =
           end)
   | Ptypes.Data_reply _ | Ptypes.Ack_exclusive _ | Ptypes.Sc_result _ | Ptypes.Downgrade _ ->
       invalid_arg "handle_domain_msg: process-addressed message in domain mailbox"
+  | Ptypes.Home_transfer _ | Ptypes.Home_transfer_ack _ | Ptypes.Home_hint _ ->
+      invalid_arg "handle_domain_msg: transfer traffic is applied at the network interface"
 
 (* --- coherence invariant checker (the probe of lib/check) ---
 
@@ -933,12 +1188,15 @@ let () =
 
 (* A block is quiet when no transaction, miss, deferred flag write or
    post-batch reissue anywhere in the engine can still touch it: only
-   then may family 4 compare Shared replicas byte-for-byte. *)
+   then may family 4 compare Shared replicas byte-for-byte.  A block
+   whose directory entry is mid-transfer is never quiet — the entry
+   lives in the transport; the home lookup chases the current home. *)
 let block_quiet t b =
-  let home = domain_by_id t (home_domain_of_block t b) in
-  (match Directory.find home.dir b with
-  | Some e -> e.Directory.busy = None && Queue.is_empty e.Directory.deferred
-  | None -> true)
+  (not (Hashtbl.mem t.transfers b))
+  && (let home = domain_by_id t (home_domain_of_block t b) in
+     match Directory.find home.dir b with
+     | Some e -> e.Directory.busy = None && Queue.is_empty e.Directory.deferred
+     | None -> true)
   && List.for_all
        (fun d ->
          (not (Hashtbl.mem d.pending_local b))
@@ -1003,9 +1261,14 @@ let check_block t b =
             err "dom%d Shared while dom%d Exclusive" d.dom_id e.dom_id)
         domains
   | _ -> ());
-  (* family 2: directory agreement, only at a quiet entry *)
+  (* family 2: directory agreement, only at a quiet entry whose home is
+     not in flight — mid-transfer the entry lives in the transport and
+     there is nothing at any home to cross-check against.  The lookup
+     chases the block's current home, wherever migration put it. *)
+  (if Hashtbl.mem t.transfers b then ()
+   else
   let home = domain_by_id t (home_domain_of_block t b) in
-  (match Directory.find home.dir b with
+  match Directory.find home.dir b with
   | None ->
       (* Untouched block: only the home may hold it (its initial copy).
          Pending is a legal transient — a requester marks the block
@@ -1095,6 +1358,12 @@ let check_msg t msg =
 let check_quiescent t =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  Hashtbl.iter
+    (fun b tr ->
+      err "block %d: home transfer dom%d -> dom%d still in flight" b tr.tr_from tr.tr_to)
+    t.transfers;
+  if t.transfer_acks <> t.migrations then
+    err "%d home transfers installed but %d acknowledged" t.migrations t.transfer_acks;
   List.iter
     (fun d ->
       if not (Mchan.Mailbox.is_empty d.dom_mailbox) then
@@ -1107,7 +1376,11 @@ let check_quiescent t =
       Directory.iter_entries
         (fun e ->
           if not (Layout.valid_block t.layout e.Directory.block) then
-            err "dom%d: directory entry for layout-invalid block %d" d.dom_id e.Directory.block;
+            err "dom%d: directory entry for layout-invalid block %d" d.dom_id e.Directory.block
+          else if home_domain_of_block t e.Directory.block <> d.dom_id then
+            err "dom%d: directory entry for block %d, whose home is dom%d" d.dom_id
+              e.Directory.block
+              (home_domain_of_block t e.Directory.block);
           (match e.Directory.busy with
           | Some txn ->
               err "dom%d: block %d busy (%s, awaiting %d)" d.dom_id e.Directory.block
@@ -1145,6 +1418,11 @@ let check_quiescent t =
     match check_block t b with [] -> () | es -> errs := List.rev_append es !errs
   done;
   List.rev !errs
+
+(* Transfer application happens at the network interface, lexically
+   before the checker exists; hand it the per-message sweep now. *)
+let () =
+  transfer_check := fun t msg -> if t.cfg.Config.check_invariants then check_msg t msg
 
 (** [service pcb] is the poll hook: drains this process's own mailbox
     (replies may only be handled by the requester — the limitation noted
@@ -1245,7 +1523,15 @@ let block_state pcb addr =
 let issue pcb b kind mkind ?(sc_store = None) () =
   let t = pcb.eng in
   let miss =
-    { m_block = b; m_kind = mkind; m_done = false; m_sc_ok = false; m_sc_store = sc_store; m_stores = [] }
+    {
+      m_block = b;
+      m_kind = mkind;
+      m_req = kind;
+      m_done = false;
+      m_sc_ok = false;
+      m_sc_store = sc_store;
+      m_stores = [];
+    }
   in
   (match Hashtbl.find_opt pcb.outstanding b with
   | Some old ->
@@ -1272,7 +1558,9 @@ let issue pcb b kind mkind ?(sc_store = None) () =
   let cur = ref (Sim.Engine.now (Mchan.Net.engine t.net)) in
   dbg b "[%.9f] ISSUE %s blk=%d by pid%d dom%d" !cur
     (Format.asprintf "%a" Ptypes.pp_kind kind) b pcb.pid pcb.dom.dom_id;
-  send_to_domain t ~cur ~from_node:pcb.dom.dom_node (home_domain_of_block t b)
+  (* Route by this domain's own (possibly stale) view of the home map;
+     a wrong guess comes back as a bounce with a fresh hint. *)
+  send_to_domain t ~cur ~from_node:pcb.dom.dom_node (hinted_home t pcb.dom b)
     (Ptypes.Request { kind; block = b; from_domain = pcb.dom.dom_id; from_pid = pcb.pid });
   charge pcb t.cfg.Config.costs.Config.send;
   miss
@@ -1644,6 +1932,23 @@ let mutation_fires t = t.mutation_fires
 let invariant_checks t = t.invariant_checks
 
 let legal_transients t = t.legal_transients
+
+(** [(migrations, bounces, in_flight)] — completed home transfers,
+    requests bounced off a stale or in-flight home, and transfers whose
+    entry is still in the transport (0 at quiescence). *)
+let migration_stats t = (t.migrations, t.bounces, Hashtbl.length t.transfers)
+
+(** Per-node [(entries received, entries given away, bounces taken)],
+    for the cluster's per-node report. *)
+let migration_by_node t =
+  let nodes = (Mchan.Net.config t.net).Mchan.Net.nodes in
+  let a = Array.make nodes (0, 0, 0) in
+  List.iter
+    (fun d ->
+      let i, o, bn = a.(d.dom_node) in
+      a.(d.dom_node) <- (i + d.homes_in, o + d.homes_out, bn + d.dom_bounces))
+    t.domains;
+  a
 
 (** Per-region protocol traffic counters, indexed like the layout's
     regions.  The array is live — callers must not mutate it. *)

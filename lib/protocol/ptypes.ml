@@ -53,6 +53,26 @@ type msg =
   | Downgrade of { block : block_id; to_state : state; to_pid : int; from_domain : domain_id }
       (** SMP-Shasta intra-node private-state-table downgrade (Section 2.3) *)
   | Downgrade_ack of { block : block_id; from_pid : int }
+  | Home_transfer of {
+      block : block_id;
+      owner : domain_id option;
+      sharers : domain_id list;  (** most-recently-added first, like the entry *)
+      seqs : (domain_id * int) list;  (** per-destination next-sequence table *)
+      data : Bytes.t option;
+          (** the home copy, carried when there is no owner: the new home
+              must be able to serve data replies from its own image *)
+      from_domain : domain_id;
+    }
+      (** serialised directory entry moving to a new home domain; between
+          send and receive the block's directory state lives in the
+          transport.  Applied on arrival at the network interface
+          (Memory-Channel remote-write semantics), never mailboxed. *)
+  | Home_transfer_ack of { block : block_id; from_domain : domain_id }
+      (** new home confirms installation back to the old home *)
+  | Home_hint of { block : block_id; home : domain_id; to_pid : int }
+      (** bounce: a request reached a domain that is not (or no longer)
+          the block's home; the requester updates its shard-map hint and
+          re-issues to [home] *)
 
 let msg_size = function
   | Request _ -> 32
@@ -65,6 +85,13 @@ let msg_size = function
   | Inval_ack _ -> 32
   | Downgrade _ -> 32
   | Downgrade_ack _ -> 32
+  | Home_transfer { sharers; seqs; data; _ } ->
+      48
+      + (8 * List.length sharers)
+      + (16 * List.length seqs)
+      + (match data with Some d -> Bytes.length d | None -> 0)
+  | Home_transfer_ack _ -> 32
+  | Home_hint _ -> 32
 
 let pp_kind ppf k =
   Format.pp_print_string ppf
@@ -92,3 +119,12 @@ let pp_msg ppf = function
       Format.fprintf ppf "Downgrade(blk=%d, to=%c, pid=%d)" block (state_to_char to_state) to_pid
   | Downgrade_ack { block; from_pid } ->
       Format.fprintf ppf "DowngradeAck(blk=%d, pid=%d)" block from_pid
+  | Home_transfer { block; owner; sharers; from_domain; _ } ->
+      Format.fprintf ppf "HomeTransfer(blk=%d, owner=%s, sharers=[%s], from=%d)" block
+        (match owner with Some o -> string_of_int o | None -> "-")
+        (String.concat "," (List.map string_of_int sharers))
+        from_domain
+  | Home_transfer_ack { block; from_domain } ->
+      Format.fprintf ppf "HomeTransferAck(blk=%d, dom=%d)" block from_domain
+  | Home_hint { block; home; to_pid } ->
+      Format.fprintf ppf "HomeHint(blk=%d, home=%d, pid=%d)" block home to_pid

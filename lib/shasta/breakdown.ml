@@ -58,3 +58,18 @@ let pp_seconds ppf b =
     b.task Sim.Units.pp_time b.read Sim.Units.pp_time b.write Sim.Units.pp_time b.mb
     Sim.Units.pp_time b.sync Sim.Units.pp_time b.blocked Sim.Units.pp_time b.msg
     Sim.Units.pp_time (total b)
+
+(* --- home-migration counters (sharded directory) --- *)
+
+(** Per-node directory-migration activity: entries this node's domains
+    received, entries they gave away, and requests its processes had
+    bounced off a stale home.  All zero under static homing. *)
+type migration = { mig_in : int; mig_out : int; mig_bounces : int }
+
+let no_migration = { mig_in = 0; mig_out = 0; mig_bounces = 0 }
+
+let migration_active ms =
+  Array.exists (fun m -> m.mig_in + m.mig_out + m.mig_bounces > 0) ms
+
+let pp_migration ppf m =
+  Format.fprintf ppf "homes +%d/-%d bounces %d" m.mig_in m.mig_out m.mig_bounces

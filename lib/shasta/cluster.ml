@@ -220,12 +220,28 @@ let per_node_breakdowns t =
     (runtimes t);
   acc
 
+(** [migration_stats t] — cluster-wide (migrations installed, requests
+    bounced, transfers still in flight); all zero under static homing. *)
+let migration_stats t = Protocol.Engine.migration_stats t.peng
+
+(** [migration_by_node t] — per-node home-migration counters. *)
+let migration_by_node t =
+  Array.map
+    (fun (mig_in, mig_out, mig_bounces) -> { Breakdown.mig_in; mig_out; mig_bounces })
+    (Protocol.Engine.migration_by_node t.peng)
+
 (** [pp_node_report ppf t] — one line of busy/stall/message time per
-    node. *)
+    node; under an active migration policy each line also carries that
+    node's home-migration counters (omitted when all zero, so static
+    runs print exactly as before). *)
 let pp_node_report ppf t =
+  let migs = migration_by_node t in
+  let show_migs = Breakdown.migration_active migs in
   Array.iteri
     (fun n b ->
-      Format.fprintf ppf "  node %d: task %.3fms read %.3fms write %.3fms sync %.3fms blocked %.3fms msg %.3fms@."
+      Format.fprintf ppf "  node %d: task %.3fms read %.3fms write %.3fms sync %.3fms blocked %.3fms msg %.3fms"
         n (1e3 *. b.Breakdown.task) (1e3 *. b.Breakdown.read) (1e3 *. b.Breakdown.write)
-        (1e3 *. b.Breakdown.sync) (1e3 *. b.Breakdown.blocked) (1e3 *. b.Breakdown.msg))
+        (1e3 *. b.Breakdown.sync) (1e3 *. b.Breakdown.blocked) (1e3 *. b.Breakdown.msg);
+      if show_migs then Format.fprintf ppf " %a" Breakdown.pp_migration migs.(n);
+      Format.fprintf ppf "@.")
     (per_node_breakdowns t)

@@ -414,6 +414,14 @@ let breakdown h =
 
 let pstats h = E.stats h.pcb
 
+(** [home_of h addr] — the current home domain of the block covering
+    [addr]: the static placement until a migration policy moves it. *)
+let home_of h addr =
+  E.home_domain_of_block h.peng (Protocol.Layout.block_of_addr (E.layout h.peng) addr)
+
+(** Requests this process re-issued after a bounce off a stale home. *)
+let bounces h = (E.stats h.pcb).E.bounces
+
 (* --- IR mode --- *)
 
 (** [alpha_runtime h] — the machine interface for interpreter execution:

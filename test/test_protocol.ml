@@ -17,8 +17,11 @@ type world = {
 }
 
 let setup ?(variant = P.Config.Smp) ?(model = P.Config.Rc) ?(direct_downgrade = true)
-    ?(nodes = 2) ?(cpus = 2) ?(regions = []) ?mutation () =
-  let netcfg = { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node = cpus } in
+    ?(nodes = 2) ?(cpus = 2) ?(regions = []) ?mutation
+    ?(homing = P.Config.Static) ?(migration_threshold = 1) ?coalescing () =
+  let netcfg =
+    { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node = cpus; coalescing }
+  in
   let net = Mchan.Net.create netcfg in
   let cfg =
     {
@@ -28,6 +31,9 @@ let setup ?(variant = P.Config.Smp) ?(model = P.Config.Rc) ?(direct_downgrade = 
       direct_downgrade;
       regions;
       mutation;
+      homing;
+      migration_threshold;
+      check_invariants = homing <> P.Config.Static;
       shared_size = 64 * 1024;
     }
   in
@@ -451,11 +457,16 @@ let test_directory_sharer_bitmask () =
   Alcotest.(check bool) "mask tracks removal" false (P.Directory.is_sharer e 2);
   P.Directory.clear_sharers e;
   Alcotest.(check bool) "cleared" true (P.Directory.no_sharers e);
+  (* The bitset grows: domain ids beyond one word are fine now (64+-node
+     clusters), only the sanity cap rejects. *)
+  P.Directory.add_sharer e 307;
+  Alcotest.(check bool) "word-boundary-crossing id accepted" true (P.Directory.is_sharer e 307);
+  Alcotest.(check bool) "large id miss" false (P.Directory.is_sharer e 306);
   Alcotest.check_raises "domain id too large for the mask"
     (Invalid_argument
-       (Printf.sprintf "Directory: domain id %d outside 0..%d" (Sys.int_size - 1)
-          (Sys.int_size - 2)))
-    (fun () -> P.Directory.add_sharer e (Sys.int_size - 1))
+       (Printf.sprintf "Directory: domain id %d outside 0..%d" P.Directory.max_domains
+          (P.Directory.max_domains - 1)))
+    (fun () -> P.Directory.add_sharer e P.Directory.max_domains)
 
 let test_wrong_block_extent_mutation_caught () =
   (* The seeded bug writes flag words one chunk past the invalidated
@@ -701,6 +712,137 @@ let test_batch_store_reissue () =
       Alcotest.(check int64) "reissued store wins (home-serialised last)" 42L v
   | [] -> Alcotest.fail "no valid copy after quiescence")
 
+(* --- sharded home map: placement edge cases, migration, coalescing --- *)
+
+let test_set_home_overlap_later_wins () =
+  (* Overlapping override ranges: the later call wins on the overlap,
+     the earlier call keeps the rest of its range. *)
+  let w = setup () in
+  let a = base + 32768 in
+  let _ = worker w ~cpu_i:0 (fun _ -> ()) in
+  let _ = worker w ~cpu_i:2 (fun _ -> ()) in
+  E.set_home w.eng ~addr:a ~len:(4 * 64) ~domain:1;
+  E.set_home w.eng ~addr:(a + 64) ~len:64 ~domain:0;
+  E.init w.eng;
+  run w;
+  let home off = E.home_domain_of_block w.eng (E.block_of_addr w.eng (a + off)) in
+  Alcotest.(check int) "start of first range" 1 (home 0);
+  Alcotest.(check int) "overlap: later range wins" 0 (home 64);
+  Alcotest.(check int) "past the overlap" 1 (home 128);
+  Alcotest.(check int) "end of first range" 1 (home 192)
+
+let test_set_home_after_init_raises () =
+  let w = setup () in
+  let _ = worker w ~cpu_i:0 (fun _ -> ()) in
+  E.init w.eng;
+  Alcotest.check_raises "set_home after init" (Invalid_argument "set_home after init")
+    (fun () -> E.set_home w.eng ~addr:base ~len:64 ~domain:0);
+  run w
+
+let test_set_home_domain_out_of_range () =
+  let w = setup () in
+  let max = P.Directory.max_domains in
+  let msg d = Printf.sprintf "set_home: domain %d outside 0..%d" d (max - 1) in
+  Alcotest.check_raises "negative domain" (Invalid_argument (msg (-1))) (fun () ->
+      E.set_home w.eng ~addr:base ~len:64 ~domain:(-1));
+  Alcotest.check_raises "domain past max" (Invalid_argument (msg max)) (fun () ->
+      E.set_home w.eng ~addr:base ~len:64 ~domain:max)
+
+let test_migratory_home_transfer () =
+  (* One exclusive request from a remote domain (threshold 1) moves the
+     directory entry to the requester; at quiescence nothing is in
+     flight and the generalized invariants hold. *)
+  let w = setup ~homing:P.Config.Migratory ~nodes:2 ~cpus:1 () in
+  let a = base + 4096 in
+  let _ = worker w ~cpu_i:0 (fun _ -> ()) in
+  let _ = worker w ~cpu_i:1 (fun pcb -> sstore pcb a 9L) in
+  E.set_home w.eng ~addr:a ~len:64 ~domain:0;
+  E.init w.eng;
+  run w;
+  let migrations, _, in_flight = E.migration_stats w.eng in
+  Alcotest.(check bool) "home transferred" true (migrations >= 1);
+  Alcotest.(check int) "no transfer in flight" 0 in_flight;
+  Alcotest.(check int) "home followed the writer" 1
+    (E.home_domain_of_block w.eng (E.block_of_addr w.eng a));
+  Alcotest.(check (list string)) "quiescent invariants" [] (E.check_quiescent w.eng)
+
+let test_first_touch_home () =
+  (* First_touch: the first remote requester takes the entry, reads
+     included. *)
+  let w = setup ~homing:P.Config.First_touch ~nodes:2 ~cpus:1 () in
+  let a = base + 8192 in
+  let got = ref 1L in
+  let _ = worker w ~cpu_i:0 (fun _ -> ()) in
+  let _ = worker w ~cpu_i:1 (fun pcb -> got := sload pcb a) in
+  E.set_home w.eng ~addr:a ~len:64 ~domain:0;
+  E.init w.eng;
+  run w;
+  let migrations, _, in_flight = E.migration_stats w.eng in
+  Alcotest.(check int64) "read sees the zero-filled block" 0L !got;
+  Alcotest.(check bool) "first touch migrated the entry" true (migrations >= 1);
+  Alcotest.(check int) "no transfer in flight" 0 in_flight;
+  Alcotest.(check int) "home moved to the first toucher" 1
+    (E.home_domain_of_block w.eng (E.block_of_addr w.eng a));
+  Alcotest.(check (list string)) "quiescent invariants" [] (E.check_quiescent w.eng)
+
+let test_stale_home_bounce () =
+  (* After a migration, a third domain still routes to the static home;
+     the stale home bounces the request with a forwarding hint, the
+     retry lands at the new home, and the data is correct. *)
+  let w = setup ~homing:P.Config.Migratory ~nodes:3 ~cpus:1 () in
+  let a = base + 4096 in
+  let got = ref 0L in
+  let bounced = ref 0 in
+  let _ = worker w ~cpu_i:0 (fun _ -> ()) in
+  let _ = worker w ~cpu_i:1 (fun pcb -> sstore pcb a 77L; E.mb pcb) in
+  let _ =
+    worker w ~cpu_i:2 (fun pcb ->
+        Sim.Proc.sleep 0.005;
+        got := sload pcb a;
+        bounced := (E.stats pcb).E.bounces)
+  in
+  E.set_home w.eng ~addr:a ~len:64 ~domain:0;
+  E.init w.eng;
+  run w;
+  Alcotest.(check int64) "bounced read still returns the data" 77L !got;
+  Alcotest.(check bool) "request bounced off the stale home" true (!bounced >= 1);
+  Alcotest.(check (list string)) "quiescent invariants" [] (E.check_quiescent w.eng)
+
+let test_coalescing_preserves_protocol () =
+  (* A burst of non-blocking store misses to distinct remote-homed
+     blocks coalesces into shared frames on the node0 -> node1 link
+     without changing what the protocol delivers. *)
+  let w = setup ~coalescing:Mchan.Net.default_coalesce () in
+  let a = base + 16384 in
+  let nblk = 8 in
+  let flag = a + (nblk * 64) in
+  let got = ref 0L in
+  let _ =
+    worker w ~cpu_i:0 (fun pcb ->
+        for i = 0 to nblk - 1 do
+          sstore pcb (a + (i * 64)) (Int64.of_int (100 + i))
+        done;
+        E.mb pcb;
+        sstore pcb flag 1L)
+  in
+  let _ =
+    worker w ~cpu_i:2 (fun pcb ->
+        (* Spin with protocol entries so the writer's invalidations are
+           serviced (raw reads alone never enter the protocol). *)
+        while sload pcb flag <> 1L do
+          E.poll pcb;
+          Sim.Proc.work 1e-6
+        done;
+        got := sload pcb (a + (3 * 64)))
+  in
+  E.set_home w.eng ~addr:a ~len:((nblk + 1) * 64) ~domain:1;
+  E.init w.eng;
+  run w;
+  Alcotest.(check int64) "value survives coalescing" 103L !got;
+  Alcotest.(check bool) "messages were batched" true (Mchan.Net.batches w.net >= 1);
+  Alcotest.(check bool) "frames carry their messages" true
+    (Mchan.Net.batched_messages w.net >= Mchan.Net.batches w.net)
+
 let suite =
   [
     Alcotest.test_case "read migration" `Quick test_read_migration;
@@ -725,4 +867,11 @@ let suite =
     Alcotest.test_case "batch defers invalidation flags" `Quick
       test_batch_defers_invalidation_flags;
     Alcotest.test_case "batch store reissue" `Quick test_batch_store_reissue;
+    Alcotest.test_case "set_home overlap: later wins" `Quick test_set_home_overlap_later_wins;
+    Alcotest.test_case "set_home after init raises" `Quick test_set_home_after_init_raises;
+    Alcotest.test_case "set_home rejects bad domain" `Quick test_set_home_domain_out_of_range;
+    Alcotest.test_case "migratory home transfer" `Quick test_migratory_home_transfer;
+    Alcotest.test_case "first-touch home" `Quick test_first_touch_home;
+    Alcotest.test_case "stale home bounce" `Quick test_stale_home_bounce;
+    Alcotest.test_case "coalescing preserves protocol" `Quick test_coalescing_preserves_protocol;
   ]
