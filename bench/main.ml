@@ -6,7 +6,8 @@
 
    Experiments: table1 table2 table3 figure3 figure4 table4 figure5 mb
    rewrite_time ablation micro faults checker granularity
-   granularity_smoke rce serve serve_smoke scale scale_smoke *)
+   granularity_smoke rce serve serve_smoke scale scale_smoke speed
+   speed_smoke *)
 
 let experiments =
   [
@@ -30,6 +31,8 @@ let experiments =
     ("serve_smoke", Serve.run_serve_smoke);
     ("scale", Scale.run_scale);
     ("scale_smoke", Scale.run_scale_smoke);
+    ("speed", Speed.run_speed);
+    ("speed_smoke", Speed.run_speed_smoke);
   ]
 
 let () =

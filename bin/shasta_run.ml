@@ -21,6 +21,8 @@ let () =
   let migration = ref "static" in
   let migration_threshold = ref Protocol.Config.default.Protocol.Config.migration_threshold in
   let coalesce = ref false in
+  let parallel = ref 1 in
+  let gc_stats = ref false in
   let spec_list =
     String.concat ", " (List.map (fun s -> s.Apps.Harness.name) Apps.Registry.all)
   in
@@ -50,6 +52,10 @@ let () =
         Arg.Set_int migration_threshold,
         " consecutive remote exclusive requests before a migratory move" );
       ("--coalesce", Arg.Set coalesce, " batch protocol messages per network link");
+      ( "--parallel",
+        Arg.Set_int parallel,
+        " event-loop domains (conservative parallel mode; 1 = sequential)" );
+      ("--gc-stats", Arg.Set gc_stats, " report host GC allocation for the run");
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_run [options]";
@@ -89,12 +95,16 @@ let () =
             | m -> raise (Arg.Bad ("unknown --migration policy " ^ m)));
           migration_threshold = !migration_threshold;
         };
+      parallel = !parallel;
     }
   in
   let cl = Shasta.Cluster.create cfg in
   let sync = match !sync with "sm" -> Apps.Harness.Sm | _ -> Apps.Harness.Mp in
   let size = if !size = 0 then None else Some !size in
+  let gc_mark = Sim.Stats.gc_mark () in
+  let host_t0 = Unix.gettimeofday () in
   let elapsed, ok = Apps.Harness.run_spec cl spec ~nprocs:!procs ~sync ?size () in
+  let host_wall = Unix.gettimeofday () -. host_t0 in
   Printf.printf "%s: %d procs, %s sync: %.3f ms simulated, validated: %b\n"
     spec.Apps.Harness.name !procs
     (match sync with Apps.Harness.Sm -> "LL/SC" | Apps.Harness.Mp -> "MP")
@@ -115,6 +125,14 @@ let () =
      Printf.printf "coalescing: %d messages in %d frames (%.2f msgs/frame)\n"
        (Mchan.Net.batched_messages net) batches
        (float_of_int (Mchan.Net.batched_messages net) /. float_of_int batches));
+  if !parallel > 1 || !gc_stats then begin
+    let fired = Sim.Engine.events_fired (Shasta.Cluster.sim cl) in
+    Printf.printf "events: %d fired, %.0f events/sec host (%.2f s host wall, %d domains)\n"
+      fired
+      (float_of_int fired /. Float.max host_wall 1e-9)
+      host_wall !parallel
+  end;
+  if !gc_stats then Format.printf "gc: %a@." Sim.Stats.pp_gc_delta (Sim.Stats.gc_delta gc_mark);
   if !stats || !granularity <> "" then
     Format.printf "%a" Shasta.Cluster.pp_layout_report cl;
   if !stats then

@@ -25,7 +25,54 @@ type stats = {
 
 type outcome = { r0 : int64; stats : stats }
 
-type frame = { proc : Program.procedure; mutable pc : int }
+(* Per-procedure dispatch metadata, built once per [run] on first entry:
+   table-driven cycle costs and check-slot sizes (no per-instruction
+   [Cost.cycles] re-match), branch targets resolved to indices (no label
+   hashtable lookup per taken branch), call targets memoized per site,
+   and [m_pure.(pc)] = the length of the straight-line run of pure
+   register-only instructions starting at [pc], which the main loop
+   executes as one batch without touching the dispatch machinery. *)
+type meta = {
+  m_cost : int array;
+  m_slots : int array;  (** check-slot size, 0 for non-check instructions *)
+  m_target : int array;  (** resolved branch target, -1 otherwise *)
+  m_pure : int array;
+  m_callee : Program.procedure option array;  (** memoized [Call] targets *)
+}
+
+(* Pure = touches only the register files: no memory, control, traps or
+   runtime callbacks, so a run of these can execute between two dispatch
+   points with the cycle charges summed (nothing can observe simulated
+   time inside the run — the next runtime callback still flushes first). *)
+let is_pure = function
+  | Insn.Binop _ | Insn.Li _ | Insn.Lif _ | Insn.Fbinop _ | Insn.Fcmp _
+  | Insn.Cvt_if _ | Insn.Cvt_fi _ | Insn.Fmov _ ->
+      true
+  | _ -> false
+
+let build_meta (proc : Program.procedure) =
+  let code = proc.Program.code in
+  let n = Array.length code in
+  let m_cost = Array.make n 0 in
+  let m_slots = Array.make n 0 in
+  let m_target = Array.make n (-1) in
+  let m_pure = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let insn = code.(i) in
+    m_cost.(i) <- Cost.cycles insn;
+    (match insn with
+    | Insn.Load_check _ | Insn.Store_check _ | Insn.Batch_check _ | Insn.Ll_check _
+    | Insn.Sc_check _ | Insn.Gran_lookup _ ->
+        m_slots.(i) <- Insn.size_in_slots insn
+    | _ -> ());
+    (match insn with
+    | Insn.Br l | Insn.Bcond (_, _, l) -> m_target.(i) <- Program.label_index proc l
+    | _ -> ());
+    if is_pure insn then m_pure.(i) <- 1 + (if i + 1 < n then m_pure.(i + 1) else 0)
+  done;
+  { m_cost; m_slots; m_target; m_pure; m_callee = Array.make n None }
+
+type frame = { proc : Program.procedure; meta : meta; mutable pc : int }
 
 let flush_threshold = 512
 
@@ -56,14 +103,14 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
       acc_cycles := 0
     end
   in
-  let charge insn =
-    (match insn with
-    | Insn.Load_check _ | Insn.Store_check _ | Insn.Batch_check _ | Insn.Ll_check _
-    | Insn.Sc_check _ | Insn.Gran_lookup _ ->
-        stats.check_slots <- stats.check_slots + Insn.size_in_slots insn
-    | _ -> ());
-    acc_cycles := !acc_cycles + Cost.cycles insn;
-    if !acc_cycles >= flush_threshold then flush ()
+  let metas : (string, meta) Hashtbl.t = Hashtbl.create 16 in
+  let meta_of (proc : Program.procedure) =
+    match Hashtbl.find_opt metas proc.Program.name with
+    | Some m -> m
+    | None ->
+        let m = build_meta proc in
+        Hashtbl.add metas proc.Program.name m;
+        m
   in
   let addr_of off base = Int64.to_int (rget base) + off in
   let eval_operand = function
@@ -107,12 +154,13 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
   in
   let entry_proc = Program.find program entry in
   let call_stack : frame list ref = ref [] in
-  let frame = ref { proc = entry_proc; pc = 0 } in
+  let frame = ref { proc = entry_proc; meta = meta_of entry_proc; pc = 0 } in
   let sc_override : bool option ref = ref None in
   let running = ref true in
   while !running do
     let f = !frame in
-    if f.pc < 0 || f.pc >= Array.length f.proc.Program.code then begin
+    let code = f.proc.Program.code in
+    if f.pc < 0 || f.pc >= Array.length code then begin
       (* Fall off the end of a procedure: treat as return. *)
       match !call_stack with
       | [] -> running := false
@@ -121,11 +169,52 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
           frame := caller
     end
     else begin
-      let insn = f.proc.Program.code.(f.pc) in
+      let pc = f.pc in
+      let m = f.meta in
+      let n = m.m_pure.(pc) in
+      if n > 0 && stats.steps + n <= max_steps then begin
+        (* Batched dispatch: a straight-line run of pure instructions
+           executes back-to-back, summing its cycle charge, with one
+           flush check at the end.  [steps], [check_slots] (always 0
+           here) and register effects are identical to the one-at-a-time
+           path. *)
+        stats.steps <- stats.steps + n;
+        let cyc = ref 0 in
+        for i = pc to pc + n - 1 do
+          cyc := !cyc + m.m_cost.(i);
+          match code.(i) with
+          | Insn.Binop (op, a, b, d) -> rset d (eval_binop op (rget a) (eval_operand b))
+          | Insn.Li (r, v) -> rset r v
+          | Insn.Lif (fr, v) -> fset fr v
+          | Insn.Fbinop (op, a, b, d) ->
+              let x = fget a and y = fget b in
+              let v =
+                match op with
+                | Insn.Fadd -> x +. y
+                | Insn.Fsub -> x -. y
+                | Insn.Fmul -> x *. y
+                | Insn.Fdiv -> x /. y
+              in
+              fset d v
+          | Insn.Fcmp (c, a, b, d) ->
+              rset d (if eval_fcond c (fget a) (fget b) then 1L else 0L)
+          | Insn.Cvt_if (r, fr) -> fset fr (Int64.to_float (rget r))
+          | Insn.Cvt_fi (fr, r) -> rset r (Int64.of_float (fget fr))
+          | Insn.Fmov (a, d) -> fset d (fget a)
+          | _ -> assert false
+        done;
+        acc_cycles := !acc_cycles + !cyc;
+        if !acc_cycles >= flush_threshold then flush ();
+        f.pc <- pc + n
+      end
+      else begin
+      let insn = code.(pc) in
       stats.steps <- stats.steps + 1;
       if stats.steps > max_steps then trap "step budget exceeded (%d)" max_steps;
-      charge insn;
-      f.pc <- f.pc + 1;
+      stats.check_slots <- stats.check_slots + m.m_slots.(pc);
+      acc_cycles := !acc_cycles + m.m_cost.(pc);
+      if !acc_cycles >= flush_threshold then flush ();
+      f.pc <- pc + 1;
       match insn with
       | Insn.Binop (op, a, b, d) -> rset d (eval_binop op (rget a) (eval_operand b))
       | Insn.Li (r, v) -> rset r v
@@ -183,12 +272,19 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
       | Insn.Mb ->
           stats.mbs <- stats.mbs + 1;
           rt.Runtime.mb ()
-      | Insn.Br l -> f.pc <- Program.label_index f.proc l
-      | Insn.Bcond (c, r, l) -> if eval_cond c (rget r) then f.pc <- Program.label_index f.proc l
+      | Insn.Br _ -> f.pc <- m.m_target.(pc)
+      | Insn.Bcond (c, r, _) -> if eval_cond c (rget r) then f.pc <- m.m_target.(pc)
       | Insn.Call name ->
-          let callee = Program.find program name in
+          let callee =
+            match m.m_callee.(pc) with
+            | Some c -> c
+            | None ->
+                let c = Program.find program name in
+                m.m_callee.(pc) <- Some c;
+                c
+          in
           call_stack := f :: !call_stack;
-          frame := { proc = callee; pc = 0 }
+          frame := { proc = callee; meta = meta_of callee; pc = 0 }
       | Insn.Ret -> (
           match !call_stack with
           | [] -> running := false
@@ -235,6 +331,7 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
           flush ();
           rt.Runtime.prefetch_excl (addr_of off b)
       | Insn.Label _ -> trap "label survived assembly"
+      end
     end
   done;
   flush ();

@@ -29,6 +29,9 @@ type t = {
   mutable parallel_start : float;
       (** set by the workload once sequential initialisation is done; the
           reported time covers only the parallel phase, as in the paper *)
+  timing_mu : Mutex.t;
+      (** [start_timing] is called from every process — from different
+          lanes in parallel mode, so the max-accumulate is locked *)
 }
 
 type lock = Mp_lock of int | Sm_lock of int (* shared address *)
@@ -43,11 +46,16 @@ let create ?(home_placement = true) cluster ~sync ~nprocs =
     next_lock_id = 0;
     next_barrier_id = 1000;
     parallel_start = 0.0;
+    timing_mu = Mutex.create ();
   }
 
 (** [start_timing t] — called by each process after the initialisation
     barrier; the latest call marks the start of the timed phase. *)
-let start_timing t = t.parallel_start <- Float.max t.parallel_start (C.now t.cluster)
+let start_timing t =
+  let now = C.now t.cluster in
+  Mutex.lock t.timing_mu;
+  t.parallel_start <- Float.max t.parallel_start now;
+  Mutex.unlock t.timing_mu
 
 let make_lock t =
   match t.sync with
@@ -86,9 +94,9 @@ let fget h a i = R.load_float h (a.base + (8 * i))
 
 (** Batched-sequence load: the rewriter would have covered this access
     with a combined check (streaming inner loops). *)
-let fget_b h a i = Int64.float_of_bits (R.load_batched h (a.base + (8 * i)) Alpha.Insn.W64)
+let fget_b h a i = Int64.float_of_bits (R.load64_batched h (a.base + (8 * i)))
 
-let fset_b h a i v = R.store_batched h (a.base + (8 * i)) Alpha.Insn.W64 (Int64.bits_of_float v)
+let fset_b h a i v = R.store64_batched h (a.base + (8 * i)) (Int64.bits_of_float v)
 let fset h a i v = R.store_float h (a.base + (8 * i)) v
 let iget h a i = R.load_int h (a.base + (8 * i))
 let iset h a i v = R.store_int h (a.base + (8 * i)) v

@@ -69,10 +69,18 @@ type t = {
   node_signal : Sim.Signal.t array;
   tx : Link.t array;
   next_pid : int ref;
-  mutable remote_messages : int;
-  mutable local_messages : int;
-  mutable batches : int;  (** coalesced frames put on the wire *)
-  mutable batched_messages : int;  (** messages those frames carried *)
+  msg_label : Sim.Engine.label array;
+      (** preallocated per-destination-node delivery label (block -1);
+          messages about a specific block still build their own label *)
+  pulse_dst : (unit -> unit) array;
+      (** preallocated per-destination-node wakeup pulse thunks, so the
+          delivery closure captures one value instead of rebuilding it *)
+  (* Message counters are per {e source} node so that, in parallel mode,
+     each lane only ever touches its own slot; accessors sum. *)
+  remote_by_src : int array;
+  local_by_src : int array;
+  batches_by_src : int array;  (** coalesced frames put on the wire *)
+  batched_by_src : int array;  (** messages those frames carried *)
   pending : (int * int, pending) Hashtbl.t;  (** open batches, by (src, dst) *)
   mutable reliable : Reliable.t option;
       (** installed only under a non-empty fault plan; [None] keeps the
@@ -106,10 +114,15 @@ let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config)
       node_signal;
       tx;
       next_pid;
-      remote_messages = 0;
-      local_messages = 0;
-      batches = 0;
-      batched_messages = 0;
+      msg_label =
+        Array.init config.nodes (fun n ->
+            { Sim.Engine.lbl_node = n; lbl_block = -1; lbl_kind = Sim.Engine.Message });
+      pulse_dst =
+        Array.init config.nodes (fun n -> fun () -> Sim.Signal.pulse node_signal.(n));
+      remote_by_src = Array.make config.nodes 0;
+      local_by_src = Array.make config.nodes 0;
+      batches_by_src = Array.make config.nodes 0;
+      batched_by_src = Array.make config.nodes 0;
       pending = Hashtbl.create 64;
       reliable = None;
     }
@@ -122,10 +135,7 @@ let create ?(plan = Fault.Plan.empty) ?(reliable_cfg = Reliable.default_config)
           let leaves = Link.transmit t.tx.(src_node) ~now:at ~size in
           leaves +. config.one_way_latency
       in
-      let label =
-        { Sim.Engine.lbl_node = dst_node; lbl_block = -1; lbl_kind = Sim.Engine.Message }
-      in
-      Sim.Engine.at engine ~label arrival (fun () -> k arrival)
+      Sim.Engine.at engine ~label:t.msg_label.(dst_node) arrival (fun () -> k arrival)
     in
     let pulse node = Sim.Signal.pulse t.node_signal.(node) in
     t.reliable <- Some (Reliable.create ~engine ~plan ~cfg:reliable_cfg ~phys ~pulse)
@@ -159,17 +169,15 @@ let nth_cpu t i =
 (* Put one frame on the wire: through the reliable transport when a
    fault plan is active, raw link + latency otherwise. *)
 let wire_send t ~at ~src_node ~dst_node ~size deliver =
-  let label =
-    { Sim.Engine.lbl_node = dst_node; lbl_block = -1; lbl_kind = Sim.Engine.Message }
-  in
   match t.reliable with
   | Some r -> Reliable.send r ~at ~src_node ~dst_node ~size deliver
   | None ->
       let leaves = Link.transmit t.tx.(src_node) ~now:at ~size in
       let arrival = leaves +. t.config.one_way_latency in
-      Sim.Engine.at t.engine ~label arrival (fun () ->
+      let pulse = t.pulse_dst.(dst_node) in
+      Sim.Engine.at t.engine ~label:t.msg_label.(dst_node) arrival (fun () ->
           deliver ();
-          Sim.Signal.pulse t.node_signal.(dst_node))
+          pulse ())
 
 (* Close the batch and transmit it as a single frame; the carried
    delivers run back-to-back in FIFO order at the frame's arrival, with
@@ -178,8 +186,8 @@ let flush_batch t ~src_node ~dst_node ~at p =
   p.p_open <- false;
   let delivers = List.rev p.p_delivers in
   p.p_delivers <- [];
-  t.batches <- t.batches + 1;
-  t.batched_messages <- t.batched_messages + p.p_count;
+  t.batches_by_src.(src_node) <- t.batches_by_src.(src_node) + 1;
+  t.batched_by_src.(src_node) <- t.batched_by_src.(src_node) + p.p_count;
   wire_send t ~at ~src_node ~dst_node ~size:p.p_bytes (fun () ->
       List.iter (fun d -> d ()) delivers)
 
@@ -212,10 +220,7 @@ let coalesced_send t co ~now ~src_node ~dst_node ~size deliver =
     p.p_last_at <- now;
     p.p_gen <- p.p_gen + 1;
     let gen = p.p_gen in
-    let label =
-      { Sim.Engine.lbl_node = dst_node; lbl_block = -1; lbl_kind = Sim.Engine.Message }
-    in
-    Sim.Engine.at t.engine ~label p.p_deadline (fun () ->
+    Sim.Engine.at t.engine ~label:t.msg_label.(dst_node) p.p_deadline (fun () ->
         (* A handler's time cursor may have carried a queued message past
            the window deadline; the frame cannot leave before its last
            message was sent. *)
@@ -231,39 +236,44 @@ let coalesced_send t co ~now ~src_node ~dst_node ~size deliver =
       flush_batch t ~src_node ~dst_node ~at:p.p_last_at p
   end
 
+(* Per-block labels carry the block for the Guided explorer; the common
+   blockless case reuses the preallocated per-destination label. *)
+let delivery_label t ~dst_node ~block =
+  if block < 0 then t.msg_label.(dst_node)
+  else { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
+
 let send t ?at ?(block = -1) ~src_node ~dst_node ~size deliver =
   let now = match at with Some x -> x | None -> Sim.Engine.now t.engine in
   if src_node = dst_node then begin
     (* Intra-node messages move through shared memory, not the Memory
        Channel: the fault model never touches them. *)
-    t.local_messages <- t.local_messages + 1;
-    let label =
-      { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
-    in
+    t.local_by_src.(src_node) <- t.local_by_src.(src_node) + 1;
+    let label = delivery_label t ~dst_node ~block in
     let arrival = now +. t.config.intra_node_latency in
+    let pulse = t.pulse_dst.(dst_node) in
     Sim.Engine.at t.engine ~label arrival (fun () ->
         deliver ();
-        Sim.Signal.pulse t.node_signal.(dst_node))
+        pulse ())
   end
   else begin
-    t.remote_messages <- t.remote_messages + 1;
+    t.remote_by_src.(src_node) <- t.remote_by_src.(src_node) + 1;
     match t.config.coalescing with
     | Some co -> coalesced_send t co ~now ~src_node ~dst_node ~size deliver
     | None -> (
-        let label =
-          { Sim.Engine.lbl_node = dst_node; lbl_block = block; lbl_kind = Sim.Engine.Message }
-        in
         match t.reliable with
         | Some r -> Reliable.send r ~at:now ~src_node ~dst_node ~size deliver
         | None ->
+            let label = delivery_label t ~dst_node ~block in
             let leaves = Link.transmit t.tx.(src_node) ~now ~size in
             let arrival = leaves +. t.config.one_way_latency in
+            let pulse = t.pulse_dst.(dst_node) in
             Sim.Engine.at t.engine ~label arrival (fun () ->
                 deliver ();
-                Sim.Signal.pulse t.node_signal.(dst_node)))
+                pulse ()))
   end
 
-let remote_messages t = t.remote_messages
-let local_messages t = t.local_messages
-let batches t = t.batches
-let batched_messages t = t.batched_messages
+let sum = Array.fold_left ( + ) 0
+let remote_messages t = sum t.remote_by_src
+let local_messages t = sum t.local_by_src
+let batches t = sum t.batches_by_src
+let batched_messages t = sum t.batched_by_src

@@ -145,7 +145,10 @@ and t = {
           this array — only arrival-side checks may consult it. *)
   transfers : (int, transfer) Hashtbl.t;
       (** blocks whose directory entry currently lives in the transport *)
-  rstats : rstat array;  (** per-region protocol traffic counters *)
+  rstats : rstat array array;
+      (** per-region protocol traffic counters, sharded by the node that
+          records the event ([rstats.(node).(region)]) so parallel lanes
+          never share a counter; {!region_stats} sums the shards *)
   mutable migrations : int;  (** home transfers completed *)
   mutable transfer_acks : int;  (** transfer acks received by old homes *)
   mutable bounces : int;  (** requests bounced off a stale or in-flight home *)
@@ -180,6 +183,11 @@ let tab_set tab block s = Bytes.set tab block (st_char s)
    SHASTA_DEBUG_BLOCK=<block id> to dump every transition of that block. *)
 let debug_block =
   match Sys.getenv_opt "SHASTA_DEBUG_BLOCK" with Some s -> int_of_string s | None -> -1
+
+(* Call sites guard with [if dbg_on then dbg ...]: [Format.ifprintf]
+   still interprets the format string and the arguments are evaluated
+   either way, which is far too expensive for per-access paths. *)
+let dbg_on = debug_block >= 0
 
 let dbg b fmt =
   if b = debug_block then Format.eprintf (fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
@@ -228,8 +236,15 @@ let create ~cfg ~net =
       transfer_acks = 0;
       bounces = 0;
       rstats =
-        Array.init (Layout.n_regions layout) (fun _ ->
-            { r_read_misses = 0; r_store_misses = 0; r_invals = 0; r_recalls = 0; r_data_bytes = 0 });
+        Array.init (Mchan.Net.config net).Mchan.Net.nodes (fun _ ->
+            Array.init (Layout.n_regions layout) (fun _ ->
+                {
+                  r_read_misses = 0;
+                  r_store_misses = 0;
+                  r_invals = 0;
+                  r_recalls = 0;
+                  r_data_bytes = 0;
+                }));
       initialized = false;
       mutation_fires = 0;
       invariant_checks = 0;
@@ -422,11 +437,12 @@ let init ?homes t =
 (* --- message plumbing --- *)
 
 (* Per-region traffic accounting: payload bytes of every data-carrying
-   message, attributed to the block's region. *)
-let count_data t msg =
+   message, attributed to the block's region and recorded in the sending
+   node's counter shard. *)
+let count_data t ~node msg =
   match msg with
   | Ptypes.Data_reply { block; data; _ } | Ptypes.Writeback { block; data; _ } ->
-      let r = t.rstats.(Layout.block_region t.layout block) in
+      let r = t.rstats.(node).(Layout.block_region t.layout block) in
       r.r_data_bytes <- r.r_data_bytes + Bytes.length data
   | _ -> ()
 
@@ -447,14 +463,14 @@ let msg_block = function
       block
 
 let send_to_domain t ~cur ~from_node dst_domain msg =
-  count_data t msg;
+  count_data t ~node:from_node msg;
   let dst = domain_by_id t dst_domain in
   Mchan.Net.send t.net ~at:!cur ~block:(msg_block msg) ~src_node:from_node
     ~dst_node:dst.dom_node ~size:(Ptypes.msg_size msg) (fun () ->
       Mchan.Mailbox.push dst.dom_mailbox msg)
 
 let send_to_pid t ~cur ~from_node dst_pid msg =
-  count_data t msg;
+  count_data t ~node:from_node msg;
   let pcb = Hashtbl.find t.pcbs dst_pid in
   Mchan.Net.send t.net ~at:!cur ~block:(msg_block msg) ~src_node:from_node
     ~dst_node:pcb.dom.dom_node ~size:(Ptypes.msg_size msg) (fun () ->
@@ -467,7 +483,7 @@ let set_block_state_shared d t b s =
   tab_set d.shared_tab b s
 
 let set_block_state_private ?(why = "?") pcb t b s =
-  dbg b "[%.9f] PRIV pid%d blk=%d <- %c @ %s" (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid b
+  if dbg_on then dbg b "[%.9f] PRIV pid%d blk=%d <- %c @ %s" (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid b
     (Ptypes.state_to_char s) why;
   tab_set pcb.private_tab b s
 
@@ -559,20 +575,20 @@ let rec apply_transport t ~at msg =
       Hashtbl.replace d.home_hint b d.dom_id;
       d.homes_in <- d.homes_in + 1;
       t.migrations <- t.migrations + 1;
-      dbg b "[%.9f] XFER install blk=%d at dom%d (from dom%d)" at b d.dom_id from_domain;
+      if dbg_on then dbg b "[%.9f] XFER install blk=%d at dom%d (from dom%d)" at b d.dom_id from_domain;
       let cur = ref (at +. t.cfg.Config.costs.Config.handler) in
       send_transport t ~cur ~from_node:d.dom_node from_domain
         (Ptypes.Home_transfer_ack { block = b; from_domain = d.dom_id });
       !transfer_check t msg
   | Ptypes.Home_transfer_ack { block = b; from_domain } ->
-      dbg b "[%.9f] XFER ack blk=%d from dom%d" at b from_domain;
+      if dbg_on then dbg b "[%.9f] XFER ack blk=%d from dom%d" at b from_domain;
       t.transfer_acks <- t.transfer_acks + 1
   | Ptypes.Home_hint { block = b; home = h; to_pid } -> (
       let pcb = Hashtbl.find t.pcbs to_pid in
       Hashtbl.replace pcb.dom.home_hint b h;
       pcb.dom.dom_bounces <- pcb.dom.dom_bounces + 1;
       pcb.stats.bounces <- pcb.stats.bounces + 1;
-      dbg b "[%.9f] BOUNCE pid%d blk=%d -> dom%d" at to_pid b h;
+      if dbg_on then dbg b "[%.9f] BOUNCE pid%d blk=%d -> dom%d" at to_pid b h;
       match Hashtbl.find_opt pcb.outstanding b with
       | Some miss when not miss.m_done ->
           (* Re-issue the bounced request to the hinted home.  The hinted
@@ -588,7 +604,7 @@ let rec apply_transport t ~at msg =
   | _ -> invalid_arg "apply_transport: not transfer traffic"
 
 and send_transport t ~cur ~from_node dst_domain msg =
-  count_data t msg;
+  count_data t ~node:from_node msg;
   let dst = domain_by_id t dst_domain in
   Mchan.Net.send t.net ~at:!cur ~block:(msg_block msg) ~src_node:from_node
     ~dst_node:dst.dom_node ~size:(Ptypes.msg_size msg) (fun () ->
@@ -599,11 +615,11 @@ and send_transport t ~cur ~from_node dst_domain msg =
    without touching any state (a stale copy survives), [Skip_inval_ack]
    invalidates but never acknowledges (the home's transaction hangs). *)
 let apply_invalidate t d ~cur ~home_domain b =
-  dbg b "[%.9f] INVAL at dom%d blk=%d" !cur d.dom_id b;
+  if dbg_on then dbg b "[%.9f] INVAL at dom%d blk=%d" !cur d.dom_id b;
   let skip_apply = t.cfg.Config.mutation = Some Config.Skip_invalidate in
   let skip_ack = t.cfg.Config.mutation = Some Config.Skip_inval_ack in
   if skip_apply || skip_ack then t.mutation_fires <- t.mutation_fires + 1;
-  let r = t.rstats.(Layout.block_region t.layout b) in
+  let r = t.rstats.(d.dom_node).(Layout.block_region t.layout b) in
   r.r_invals <- r.r_invals + 1;
   if not skip_apply then begin
     invalidate_block_data t d b;
@@ -617,7 +633,7 @@ let apply_invalidate t d ~cur ~home_domain b =
 
 (* Complete a recall once all private-table downgrades are done. *)
 let complete_recall t d ~cur b ~to_shared ~home_domain =
-  dbg b "[%.9f] RECALL-DONE at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
+  if dbg_on then dbg b "[%.9f] RECALL-DONE at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
   let keep_private = t.cfg.Config.mutation = Some Config.Keep_private_on_recall in
   let data = Memimg.read_block d.img ~block:b in
   if to_shared then begin
@@ -642,8 +658,8 @@ let complete_recall t d ~cur b ~to_shared ~home_domain =
    directly when the holder is not in application code (Section 4.3.4),
    via an explicit message otherwise (Section 2.3). *)
 let apply_recall t d ~cur ~servicer b ~to_shared ~home_domain =
-  dbg b "[%.9f] RECALL at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
-  let r = t.rstats.(Layout.block_region t.layout b) in
+  if dbg_on then dbg b "[%.9f] RECALL at dom%d blk=%d to_shared=%b" !cur d.dom_id b to_shared;
+  let r = t.rstats.(d.dom_node).(Layout.block_region t.layout b) in
   r.r_recalls <- r.r_recalls + 1;
   (* Block intra-node exclusive grants while the recall is in flight. *)
   set_block_state_shared d t b Ptypes.Pending;
@@ -707,7 +723,7 @@ let rec handle_request t home ~cur msg =
         | Some tr -> tr.tr_to  (* in flight: point at where it will land *)
         | None -> t.home.(b)
       in
-      dbg b "[%.9f] HOME bounce blk=%d at dom%d -> dom%d" !cur b home.dom_id hint;
+      if dbg_on then dbg b "[%.9f] HOME bounce blk=%d at dom%d -> dom%d" !cur b home.dom_id hint;
       let rdom = (Hashtbl.find t.pcbs from_pid).dom in
       send_transport t ~cur ~from_node:home.dom_node rdom.dom_id
         (Ptypes.Home_hint { block = b; home = hint; to_pid = from_pid })
@@ -715,11 +731,11 @@ let rec handle_request t home ~cur msg =
       let entry = Directory.entry home.dir b in
       match entry.Directory.busy with
       | Some _ ->
-          dbg b "[%.9f] HOME defer blk=%d" !cur b;
+          if dbg_on then dbg b "[%.9f] HOME defer blk=%d" !cur b;
           Queue.push msg entry.Directory.deferred
       | None -> (
           cur := !cur +. t.cfg.Config.costs.Config.handler;
-          dbg b "[%.9f] HOME req %s blk=%d from dom%d pid%d owner=%s sharers=[%s]" !cur
+          if dbg_on then dbg b "[%.9f] HOME req %s blk=%d from dom%d pid%d owner=%s sharers=[%s]" !cur
             (Format.asprintf "%a" Ptypes.pp_kind kind) b from_domain from_pid
             (match entry.Directory.owner with Some o -> string_of_int o | None -> "-")
             (String.concat "," (List.map string_of_int (Directory.sharers_list entry)));
@@ -863,7 +879,7 @@ let rec handle_request t home ~cur msg =
 and grant t home ~cur entry txn =
   let b = entry.Directory.block in
   let pid = txn.Directory.t_requester_pid in
-  dbg b "[%.9f] HOME grant blk=%d kind=%s to dom%d pid%d" !cur b
+  if dbg_on then dbg b "[%.9f] HOME grant blk=%d kind=%s to dom%d pid%d" !cur b
     (Format.asprintf "%a" Ptypes.pp_kind txn.Directory.t_kind)
     txn.Directory.t_requester_domain pid;
   let rdom = txn.Directory.t_requester_domain in
@@ -925,11 +941,17 @@ and observe_request t home entry ~kind ~from_domain =
           end;
           (* Gate on the block's region being hot enough, per the
              region-level miss counters — cold regions never migrate. *)
-          let r = t.rstats.(Layout.block_region t.layout entry.Directory.block) in
+          let ri = Layout.block_region t.layout entry.Directory.block in
+          let region_misses =
+            Array.fold_left
+              (fun acc per_node ->
+                acc + per_node.(ri).r_read_misses + per_node.(ri).r_store_misses)
+              0 t.rstats
+          in
           if
             from_domain <> home.dom_id
             && entry.Directory.excl_streak >= t.cfg.Config.migration_threshold
-            && r.r_read_misses + r.r_store_misses >= t.cfg.Config.migration_region_min
+            && region_misses >= t.cfg.Config.migration_region_min
           then entry.Directory.want_home <- Some from_domain));
   entry.Directory.touched <- true
 
@@ -966,7 +988,7 @@ and initiate_transfer t home ~cur b ~dst =
      is a cheaper start than chasing the one-hop-forward note a
      give-away could record here. *)
   home.homes_out <- home.homes_out + 1;
-  dbg b "[%.9f] XFER blk=%d dom%d -> dom%d owner=%s" !cur b home.dom_id dst
+  if dbg_on then dbg b "[%.9f] XFER blk=%d dom%d -> dom%d owner=%s" !cur b home.dom_id dst
     (match owner with Some o -> string_of_int o | None -> "-");
   cur := !cur +. t.cfg.Config.costs.Config.send;
   send_transport t ~cur ~from_node:home.dom_node dst
@@ -978,7 +1000,7 @@ let handle_writeback t home ~cur b data ~from_domain =
   | None -> invalid_arg "writeback with no transaction"
   | Some txn -> (
       cur := !cur +. t.cfg.Config.costs.Config.handler;
-      dbg b "[%.9f] HOME writeback blk=%d txn=%s from dom%d" !cur b
+      if dbg_on then dbg b "[%.9f] HOME writeback blk=%d txn=%s from dom%d" !cur b
         (Format.asprintf "%a" Ptypes.pp_kind txn.Directory.t_kind) from_domain;
       match txn.Directory.t_kind with
       | Ptypes.Read ->
@@ -1053,7 +1075,7 @@ let apply_reply t pcb ~cur msg =
   match msg with
   | Ptypes.Data_reply { block = b; data; exclusive; _ } ->
       cur := !cur +. t.cfg.Config.costs.Config.reply_process;
-      dbg b "[%.9f] REPLY data blk=%d excl=%b at pid%d dom%d (outstanding=%b)" !cur b exclusive
+      if dbg_on then dbg b "[%.9f] REPLY data blk=%d excl=%b at pid%d dom%d (outstanding=%b)" !cur b exclusive
         pcb.pid d.dom_id (Hashtbl.mem pcb.outstanding b);
       Memimg.write_block d.img ~block:b data;
       replay_recorded_stores t d b;
@@ -1069,7 +1091,7 @@ let apply_reply t pcb ~cur msg =
           if miss.m_kind = MStore then pcb.n_outstanding_stores <- pcb.n_outstanding_stores - 1)
   | Ptypes.Ack_exclusive { block = b; _ } ->
       cur := !cur +. t.cfg.Config.costs.Config.reply_process;
-      dbg b "[%.9f] REPLY ack_excl blk=%d at pid%d dom%d" !cur b pcb.pid d.dom_id;
+      if dbg_on then dbg b "[%.9f] REPLY ack_excl blk=%d at pid%d dom%d" !cur b pcb.pid d.dom_id;
       (match Hashtbl.find_opt pcb.outstanding b with
       | None -> ()
       | Some miss ->
@@ -1087,7 +1109,7 @@ let apply_reply t pcb ~cur msg =
       | None -> ()
       | Some miss ->
           let really_ok = ref ok in
-          dbg b "[%.9f] SC_RESULT pid%d ok=%b armed=%b" !cur pcb.pid ok
+          if dbg_on then dbg b "[%.9f] SC_RESULT pid%d ok=%b armed=%b" !cur pcb.pid ok
             (match miss.m_sc_store with
              | Some (a, _, _) -> Memimg.monitor_armed d.img ~pid:pcb.pid a
              | None -> false);
@@ -1429,7 +1451,7 @@ let () =
     in Section 6.5) and then the domain mailbox, which any local process
     may service.  Returns the CPU seconds consumed.  Never called from
     fiber context. *)
-let service pcb =
+let service_slow pcb =
   let t = pcb.eng in
   let d = pcb.dom in
   let start = Sim.Engine.now (Mchan.Net.engine t.net) in
@@ -1492,6 +1514,28 @@ let service pcb =
   then Sim.Signal.pulse (Mchan.Net.node_signal t.net d.dom_node);
   !cur -. start
 
+(* Idle fast path: polls vastly outnumber message arrivals, and the full
+   drain above allocates (closures, [List.partition] pairs) even when
+   every queue is empty.  The guard must also cover the end-of-drain
+   sibling wake-up: a signal-waiting sibling with an in-order parked
+   reply is owed a pulse even when {e this} process has nothing to do,
+   so the fast path applies only when no member of the domain holds any
+   parked message at all — then the sibling scan is vacuously false and
+   skipping the drain is exact. *)
+let rec no_parked = function
+  | [] -> true
+  | m :: rest -> m.parked == [] && no_parked rest
+
+let service pcb =
+  let d = pcb.dom in
+  if
+    d.parked_dom == []
+    && Mchan.Mailbox.is_empty pcb.mailbox
+    && Mchan.Mailbox.is_empty d.dom_mailbox
+    && no_parked d.members
+  then 0.0
+  else service_slow pcb
+
 (** In SMP-Shasta, processes on the same node can also serve each other's
     {e domain} traffic; this hook additionally drains the mailboxes of
     sibling processes' pending work when they are descheduled is not
@@ -1519,6 +1563,12 @@ let block_state pcb addr =
   let b = Layout.block_of_addr pcb.eng.layout addr in
   (tab_get pcb.private_tab b, tab_get pcb.dom.shared_tab b)
 
+(** [private_state pcb addr] — just the private-table state of the block
+    covering [addr]; the allocation-free form of [fst (block_state ...)]
+    for the inline-check fast paths. *)
+let private_state pcb addr =
+  tab_get pcb.private_tab (Layout.block_of_addr pcb.eng.layout addr)
+
 (* Issue a request to the home; non-blocking (caller stalls if desired). *)
 let issue pcb b kind mkind ?(sc_store = None) () =
   let t = pcb.eng in
@@ -1541,7 +1591,7 @@ let issue pcb b kind mkind ?(sc_store = None) () =
         old.m_done
   | None -> ());
   Hashtbl.replace pcb.outstanding b miss;
-  (let r = t.rstats.(Layout.block_region t.layout b) in
+  (let r = t.rstats.(pcb.dom.dom_node).(Layout.block_region t.layout b) in
    match mkind with
    | MRead -> r.r_read_misses <- r.r_read_misses + 1
    | MStore | MSc | MPrefetch -> r.r_store_misses <- r.r_store_misses + 1);
@@ -1556,7 +1606,7 @@ let issue pcb b kind mkind ?(sc_store = None) () =
       set_block_state_shared pcb.dom t b Ptypes.Pending;
       set_block_state_private ~why:"issue" pcb t b Ptypes.Pending);
   let cur = ref (Sim.Engine.now (Mchan.Net.engine t.net)) in
-  dbg b "[%.9f] ISSUE %s blk=%d by pid%d dom%d" !cur
+  if dbg_on then dbg b "[%.9f] ISSUE %s blk=%d by pid%d dom%d" !cur
     (Format.asprintf "%a" Ptypes.pp_kind kind) b pcb.pid pcb.dom.dom_id;
   (* Route by this domain's own (possibly stale) view of the home map;
      a wrong guess comes back as a bounce with a fresh hint. *)
@@ -1742,6 +1792,10 @@ let store_miss pcb addr =
     reissue (Section 4.1). *)
 let raw_read pcb addr w = Memimg.read pcb.dom.img addr w
 
+(** [raw_read64 pcb addr] — width-free 8-byte read for the API-mode fast
+    paths; behaviourally [raw_read pcb addr W64]. *)
+let raw_read64 pcb addr = Memimg.read64 pcb.dom.img addr
+
 (** Region copies for OS syscall buffers (post-validation DMA). *)
 let raw_blit_out pcb ~addr ~len buf off = Memimg.blit_out pcb.dom.img ~addr ~len buf off
 
@@ -1755,22 +1809,33 @@ let raw_sc pcb addr w v = Memimg.sc pcb.dom.img ~pid:pcb.pid addr w v
 let raw_write pcb addr w v =
   let t = pcb.eng in
   let b = block_of_addr t addr in
-  dbg b "[%.9f] WRITE 0x%x=%Ld pid%d dom%d (outstanding=%b st=%c/%c)"
+  if dbg_on then dbg b "[%.9f] WRITE 0x%x=%Ld pid%d dom%d (outstanding=%b st=%c/%c)"
     (Sim.Engine.now (Mchan.Net.engine t.net)) addr v pcb.pid pcb.dom.dom_id
     (Hashtbl.mem pcb.outstanding b)
     (Ptypes.state_to_char (tab_get pcb.private_tab b))
     (Ptypes.state_to_char (tab_get pcb.dom.shared_tab b));
-  (match Hashtbl.find_opt pcb.outstanding b with
-  | Some miss -> miss.m_stores <- (addr, w, v) :: miss.m_stores
-  | None ->
-      if List.mem b pcb.watch_blocks then begin
-        let _, shared = block_state pcb addr in
-        match shared with
-        | Ptypes.Exclusive -> ()
-        | Ptypes.Shared | Ptypes.Invalid | Ptypes.Pending ->
-            pcb.reissue <- (addr, w, v) :: pcb.reissue
-      end);
+  (* The dominant case — no miss outstanding, no watched blocks — must
+     not hash or allocate. *)
+  (if Hashtbl.length pcb.outstanding > 0 || pcb.watch_blocks <> [] then
+     match Hashtbl.find_opt pcb.outstanding b with
+     | Some miss -> miss.m_stores <- (addr, w, v) :: miss.m_stores
+     | None ->
+         if List.mem b pcb.watch_blocks then begin
+           let _, shared = block_state pcb addr in
+           match shared with
+           | Ptypes.Exclusive -> ()
+           | Ptypes.Shared | Ptypes.Invalid | Ptypes.Pending ->
+               pcb.reissue <- (addr, w, v) :: pcb.reissue
+         end);
   Memimg.write ~pid:pcb.pid pcb.dom.img addr w v
+
+(** [raw_write64 pcb addr v] — 8-byte store fast path: behaviourally
+    [raw_write pcb addr W64 v], skipping the block lookup and hashing
+    when no miss is outstanding and nothing is watched or traced. *)
+let raw_write64 pcb addr v =
+  if dbg_on || Hashtbl.length pcb.outstanding > 0 || pcb.watch_blocks <> [] then
+    raw_write pcb addr Alpha.Insn.W64 v
+  else Memimg.write64 ~pid:pcb.pid pcb.dom.img addr v
 
 (** [mb pcb] — the protocol part of a memory barrier: complete all
     outstanding (non-blocking) stores and service pending invalidations. *)
@@ -1881,7 +1946,7 @@ let rec sc_check pcb addr w v =
       sc_check pcb addr w v
   | None ->
   let private_s, shared = block_state pcb addr in
-  dbg b "[%.9f] SC_CHECK pid%d private=%c shared=%c last_ll=%b"
+  if dbg_on then dbg b "[%.9f] SC_CHECK pid%d private=%c shared=%c last_ll=%b"
     (Sim.Engine.now (Mchan.Net.engine t.net)) pcb.pid (Ptypes.state_to_char private_s)
     (Ptypes.state_to_char shared) (pcb.last_ll = Some b);
   match (private_s, shared) with
@@ -1951,8 +2016,21 @@ let migration_by_node t =
   a
 
 (** Per-region protocol traffic counters, indexed like the layout's
-    regions.  The array is live — callers must not mutate it. *)
-let region_stats t = t.rstats
+    regions.  A fresh snapshot summing the per-node shards. *)
+let region_stats t =
+  Array.init (Layout.n_regions t.layout) (fun ri ->
+      Array.fold_left
+        (fun acc per_node ->
+          let r = per_node.(ri) in
+          {
+            r_read_misses = acc.r_read_misses + r.r_read_misses;
+            r_store_misses = acc.r_store_misses + r.r_store_misses;
+            r_invals = acc.r_invals + r.r_invals;
+            r_recalls = acc.r_recalls + r.r_recalls;
+            r_data_bytes = acc.r_data_bytes + r.r_data_bytes;
+          })
+        { r_read_misses = 0; r_store_misses = 0; r_invals = 0; r_recalls = 0; r_data_bytes = 0 }
+        t.rstats)
 
 (** [pp_layout_report ppf t] — per-region protocol traffic table.  The
     cluster layer wraps this with allocator fragmentation columns. *)
@@ -1965,4 +2043,4 @@ let pp_layout_report ppf t =
       Format.fprintf ppf "%-10s %5d %7d %9d %9d %7d %7d %10d@." reg.Layout.r_name
         reg.Layout.r_block reg.Layout.r_n_blocks r.r_read_misses r.r_store_misses r.r_invals
         r.r_recalls r.r_data_bytes)
-    t.rstats
+    (region_stats t)

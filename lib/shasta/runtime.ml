@@ -34,6 +34,14 @@ type t = {
   sync : Sync.t;
   peng : E.t;
   private_mem : Bytes.t;
+  flag_w32 : int64;  (** [Config.flag_value cfg W32], precomputed *)
+  flag_w64 : int64;  (** [Config.flag_value cfg W64], precomputed *)
+  img : Protocol.Memimg.t;  (** this process's domain image, cached *)
+  shared_lo : int;  (** shared-range bounds, cached as immediates *)
+  shared_hi : int;
+  c_load : int;  (** cycles charged per checked load, precomputed *)
+  c_store : int;  (** cycles charged per checked store *)
+  c_batched : int;  (** cycles charged per batch-covered access *)
   mutable acc_cycles : int;
   mutable blocked_time : float;
   mutable accesses : int;  (** shared loads+stores issued in API mode *)
@@ -80,6 +88,23 @@ let create ~cfg ~peng ~sync (proc : Sim.Proc.t) =
       sync;
       peng;
       private_mem = Bytes.make cfg.Config.private_mem_size '\000';
+      flag_w32 = Config.flag_value cfg Alpha.Insn.W32;
+      flag_w64 = Config.flag_value cfg Alpha.Insn.W64;
+      img = pcb.E.dom.E.img;
+      shared_lo = cfg.Config.protocol.Protocol.Config.shared_base;
+      shared_hi =
+        cfg.Config.protocol.Protocol.Config.shared_base
+        + cfg.Config.protocol.Protocol.Config.shared_size;
+      c_load =
+        (if cfg.Config.checks_enabled then
+           cfg.Config.checks.Config.access_cycles + cfg.Config.checks.Config.load_check_cycles
+         else cfg.Config.checks.Config.access_cycles);
+      c_store =
+        (if cfg.Config.checks_enabled then
+           cfg.Config.checks.Config.access_cycles + cfg.Config.checks.Config.store_check_cycles
+         else cfg.Config.checks.Config.access_cycles);
+      c_batched =
+        cfg.Config.checks.Config.access_cycles + (if cfg.Config.checks_enabled then 1 else 0);
       acc_cycles = 0;
       blocked_time = 0.0;
       accesses = 0;
@@ -106,7 +131,12 @@ let trace_access h ~store addr w v =
           acc_store = store;
           acc_value = v;
         }
-let is_shared h addr = Protocol.Config.is_shared h.cfg.Config.protocol addr
+let is_shared h addr = addr >= h.shared_lo && addr < h.shared_hi
+
+(* The miss-flag bit pattern for a width, without recomputing the 64-bit
+   replication per access. *)
+let flag h (w : Alpha.Insn.width) =
+  match w with Alpha.Insn.W32 -> h.flag_w32 | Alpha.Insn.W64 -> h.flag_w64
 
 (** [layout h] — the region layout of the shared address space (block
     extents vary by region; consumers must not assume a fixed line). *)
@@ -141,7 +171,7 @@ let load h addr w =
     else charge_cycles h h.cfg.Config.checks.Config.access_cycles;
     let v0 = E.raw_read h.pcb addr w in
     let v =
-      if v0 = Config.flag_value h.cfg w then
+      if v0 = flag h w then
         in_protocol h (fun () -> E.load_miss h.pcb addr w)
       else v0
     in
@@ -161,9 +191,9 @@ let store h addr w v =
       charge_cycles h
         (h.cfg.Config.checks.Config.access_cycles + h.cfg.Config.checks.Config.store_check_cycles)
     else charge_cycles h h.cfg.Config.checks.Config.access_cycles;
-    (match E.block_state h.pcb addr with
-    | Protocol.Ptypes.Exclusive, _ -> ()
-    | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
+    (match E.private_state h.pcb addr with
+    | Protocol.Ptypes.Exclusive -> ()
+    | Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending ->
         in_protocol h (fun () -> E.store_miss h.pcb addr));
     E.raw_write h.pcb addr w v;
     trace_access h ~store:true addr w v
@@ -180,7 +210,7 @@ let load_batched h addr w =
   else begin
     let v0 = E.raw_read h.pcb addr w in
     let v =
-      if v0 = Config.flag_value h.cfg w then
+      if v0 = flag h w then
         in_protocol h (fun () -> E.load_miss h.pcb addr w)
       else v0
     in
@@ -195,18 +225,85 @@ let store_batched h addr w v =
   charge_cycles h (h.cfg.Config.checks.Config.access_cycles + if h.cfg.Config.checks_enabled then 1 else 0);
   if not (is_shared h addr) then private_write h addr w v
   else begin
-    (match E.block_state h.pcb addr with
-    | Protocol.Ptypes.Exclusive, _ -> ()
-    | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
+    (match E.private_state h.pcb addr with
+    | Protocol.Ptypes.Exclusive -> ()
+    | Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending ->
         in_protocol h (fun () -> E.store_miss h.pcb addr));
     E.raw_write h.pcb addr w v;
     trace_access h ~store:true addr w v
   end
 
-let load_int h addr = Int64.to_int (load h addr Alpha.Insn.W64)
-let store_int h addr v = store h addr Alpha.Insn.W64 (Int64.of_int v)
-let load_float h addr = Int64.float_of_bits (load h addr Alpha.Insn.W64)
-let store_float h addr v = store h addr Alpha.Insn.W64 (Int64.bits_of_float v)
+(* --- width-specialised 64-bit paths ---
+
+   Behaviourally identical to the generic functions at [W64]; they skip
+   the width dispatch, read/write the image without the boxed-width
+   detour, and avoid the block lookup on the raw store.  The array-based
+   workloads do almost all their shared traffic through these. *)
+
+let load64 h addr =
+  h.accesses <- h.accesses + 1;
+  if not (is_shared h addr) then begin
+    charge_cycles h h.cfg.Config.checks.Config.access_cycles;
+    Bytes.get_int64_le h.private_mem addr
+  end
+  else begin
+    charge_cycles h h.c_load;
+    let v0 = Protocol.Memimg.read64 h.img addr in
+    let v =
+      if v0 = h.flag_w64 then in_protocol h (fun () -> E.load_miss h.pcb addr Alpha.Insn.W64)
+      else v0
+    in
+    trace_access h ~store:false addr Alpha.Insn.W64 v;
+    v
+  end
+
+let store64 h addr v =
+  h.accesses <- h.accesses + 1;
+  if not (is_shared h addr) then begin
+    charge_cycles h h.cfg.Config.checks.Config.access_cycles;
+    Bytes.set_int64_le h.private_mem addr v
+  end
+  else begin
+    charge_cycles h h.c_store;
+    (match E.private_state h.pcb addr with
+    | Protocol.Ptypes.Exclusive -> ()
+    | Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending ->
+        in_protocol h (fun () -> E.store_miss h.pcb addr));
+    E.raw_write64 h.pcb addr v;
+    trace_access h ~store:true addr Alpha.Insn.W64 v
+  end
+
+let load64_batched h addr =
+  h.accesses <- h.accesses + 1;
+  charge_cycles h h.c_batched;
+  if not (is_shared h addr) then Bytes.get_int64_le h.private_mem addr
+  else begin
+    let v0 = Protocol.Memimg.read64 h.img addr in
+    let v =
+      if v0 = h.flag_w64 then in_protocol h (fun () -> E.load_miss h.pcb addr Alpha.Insn.W64)
+      else v0
+    in
+    trace_access h ~store:false addr Alpha.Insn.W64 v;
+    v
+  end
+
+let store64_batched h addr v =
+  h.accesses <- h.accesses + 1;
+  charge_cycles h h.c_batched;
+  if not (is_shared h addr) then Bytes.set_int64_le h.private_mem addr v
+  else begin
+    (match E.private_state h.pcb addr with
+    | Protocol.Ptypes.Exclusive -> ()
+    | Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending ->
+        in_protocol h (fun () -> E.store_miss h.pcb addr));
+    E.raw_write64 h.pcb addr v;
+    trace_access h ~store:true addr Alpha.Insn.W64 v
+  end
+
+let load_int h addr = Int64.to_int (load64 h addr)
+let store_int h addr v = store64 h addr (Int64.of_int v)
+let load_float h addr = Int64.float_of_bits (load64 h addr)
+let store_float h addr v = store64 h addr (Int64.bits_of_float v)
 
 (** [work h seconds] — application compute time (polls run inside). *)
 let work h seconds =
@@ -233,10 +330,10 @@ let mb h =
 let batch_fast_path h accesses =
   List.for_all
     (fun (addr, _w, kind) ->
-      match E.block_state h.pcb addr with
-      | Protocol.Ptypes.Exclusive, _ -> true
-      | Protocol.Ptypes.Shared, _ -> kind = Alpha.Insn.Load_acc
-      | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Pending), _ -> false)
+      match E.private_state h.pcb addr with
+      | Protocol.Ptypes.Exclusive -> true
+      | Protocol.Ptypes.Shared -> kind = Alpha.Insn.Load_acc
+      | Protocol.Ptypes.Invalid | Protocol.Ptypes.Pending -> false)
     accesses
 
 (** [batch h accesses] — the combined check for a run of accesses, then
@@ -414,6 +511,9 @@ let breakdown h =
 
 let pstats h = E.stats h.pcb
 
+(** Shared loads+stores this process issued in API mode. *)
+let accesses h = h.accesses
+
 (** [home_of h addr] — the current home domain of the block covering
     [addr]: the static placement until a migration policy moves it. *)
 let home_of h addr =
@@ -440,15 +540,15 @@ let alpha_runtime h =
     store = dispatch_write;
     load_check =
       (fun value addr w ->
-        if is_shared h addr && value = Config.flag_value h.cfg w then
+        if is_shared h addr && value = flag h w then
           in_protocol h (fun () -> E.load_miss h.pcb addr w)
         else value);
     store_check =
       (fun addr _w ->
         if is_shared h addr then
-          match E.block_state h.pcb addr with
-          | Protocol.Ptypes.Exclusive, _ -> ()
-          | (Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending), _ ->
+          match E.private_state h.pcb addr with
+          | Protocol.Ptypes.Exclusive -> ()
+          | Protocol.Ptypes.Invalid | Protocol.Ptypes.Shared | Protocol.Ptypes.Pending ->
               in_protocol h (fun () -> E.store_miss h.pcb addr));
     batch_check =
       (fun accesses ->

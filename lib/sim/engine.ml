@@ -5,6 +5,15 @@
     (CPUs, processes, the network, the coherence protocol) is expressed
     as events.
 
+    The event store is a flat structure-of-arrays binary heap: an
+    unboxed [float array] of times, an [int array] of sequence numbers,
+    and parallel payload arrays for labels and run thunks.  Firing an
+    event under the default [Fifo] schedule allocates nothing; the other
+    schedules reuse one array-based tie buffer across fires instead of
+    building a list per tie-set.  Because [(time, seq)] keys are unique,
+    the pop order is independent of the heap's internal layout, so this
+    representation is bit-identical to the boxed heap it replaced.
+
     The [schedule] policy chosen at [create] controls how same-time ties
     are broken.  [Fifo] (the default) fires ties in insertion order and
     is bit-identical to the historical behaviour; the other policies
@@ -13,10 +22,18 @@
 
     Every event optionally carries a {!label} — who the event belongs to
     (a node), which coherence block it touches, and what kind of thing
-    it is.  The labels change nothing about execution; they exist so
-    that a {!Guided} scheduler (the DPOR explorer) can see the
-    dependency footprint of each runnable event and prune interleavings
-    of commuting pairs instead of brute-forcing them. *)
+    it is.  The labels change nothing about sequential execution; they
+    exist so that a {!Guided} scheduler (the DPOR explorer) can see the
+    dependency footprint of each runnable event, and so that the
+    conservative parallel mode ({!Par}) can route each event to its
+    node's lane.
+
+    Parallel mode: {!par_install} splits the event store into per-node
+    {e lanes}; while a lane is being driven (on a real domain, under
+    {!Par.run}) the clock and [at]/[after] are lane-local, and an event
+    scheduled onto a different node's lane is buffered and merged at the
+    next lookahead-window barrier.  With [par = None] (the default)
+    every code path below is exactly the sequential one. *)
 
 (** What an event may touch, conservatively.  [-1] means "unknown /
     all": an unlabeled event must be treated as dependent with every
@@ -112,21 +129,177 @@ type sched_state =
       delays : (Rng.t * float * float) option;  (* rng, prob, max_delay *)
     }
 
-type ev = { ev_label : label; ev_run : unit -> unit }
+(* --- the flat event store --- *)
+
+(* A structure-of-arrays binary min-heap over (time, seq) with label and
+   run-thunk payload arrays.  Same layout and sift moves as {!Heap}, but
+   monomorphic and with the entry record split across four arrays so
+   that push/drop never allocate. *)
+type eheap = {
+  mutable q_time : float array;
+  mutable q_seq : int array;
+  mutable q_label : label array;
+  mutable q_run : (unit -> unit) array;
+  mutable q_size : int;
+}
+
+let nop () = ()
+
+let q_create () =
+  { q_time = [||]; q_seq = [||]; q_label = [||]; q_run = [||]; q_size = 0 }
+
+let q_grow h =
+  let cap = Array.length h.q_time in
+  let cap' = if cap = 0 then 64 else cap * 2 in
+  let time' = Array.make cap' 0.0 in
+  let seq' = Array.make cap' 0 in
+  let label' = Array.make cap' no_label in
+  let run' = Array.make cap' nop in
+  Array.blit h.q_time 0 time' 0 h.q_size;
+  Array.blit h.q_seq 0 seq' 0 h.q_size;
+  Array.blit h.q_label 0 label' 0 h.q_size;
+  Array.blit h.q_run 0 run' 0 h.q_size;
+  h.q_time <- time';
+  h.q_seq <- seq';
+  h.q_label <- label';
+  h.q_run <- run'
+
+let q_push h ~time ~seq ~label run =
+  if h.q_size = Array.length h.q_time then q_grow h;
+  let times = h.q_time and seqs = h.q_seq and labels = h.q_label and runs = h.q_run in
+  (* Sift up by moving the hole; the new entry is written exactly once. *)
+  let i = ref h.q_size in
+  h.q_size <- h.q_size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if time < times.(p) || (time = times.(p) && seq < seqs.(p)) then begin
+      times.(!i) <- times.(p);
+      seqs.(!i) <- seqs.(p);
+      labels.(!i) <- labels.(p);
+      runs.(!i) <- runs.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  labels.(!i) <- label;
+  runs.(!i) <- run
+
+(* Remove the minimum entry; callers read the root first.  The freed
+   slot's run thunk is cleared so popped closures do not outlive their
+   firing. *)
+let q_drop h =
+  h.q_size <- h.q_size - 1;
+  let n = h.q_size in
+  let times = h.q_time and seqs = h.q_seq and labels = h.q_label and runs = h.q_run in
+  if n > 0 then begin
+    let time = times.(n) and seq = seqs.(n) in
+    let label = labels.(n) and run = runs.(n) in
+    runs.(n) <- nop;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if times.(c) < time || (times.(c) = time && seqs.(c) < seq) then begin
+          times.(!i) <- times.(c);
+          seqs.(!i) <- seqs.(c);
+          labels.(!i) <- labels.(c);
+          runs.(!i) <- runs.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    times.(!i) <- time;
+    seqs.(!i) <- seq;
+    labels.(!i) <- label;
+    runs.(!i) <- run
+  end
+  else runs.(0) <- nop
+
+(* --- per-node lanes for the conservative parallel mode --- *)
+
+(* An event scheduled from one lane onto another; buffered on the source
+   lane and merged (in deterministic (time, src, src_seq) order) at the
+   next window barrier.  [x_src_seq] is drawn from the source lane's own
+   insertion counter, so the merge order is a pure function of each
+   lane's deterministic execution. *)
+type cross = {
+  x_dst : int;
+  x_time : float;
+  x_src : int;
+  x_src_seq : int;
+  x_label : label;
+  x_run : unit -> unit;
+}
+
+type lane = {
+  l_id : int;  (** the node this lane belongs to *)
+  l_heap : eheap;
+  mutable l_now : float;
+  mutable l_seq : int;
+  mutable l_fired : int;
+  mutable l_out : cross list;  (** cross-lane pushes made by this lane, newest first *)
+  mutable l_out_pulses : (int * (unit -> unit)) list;
+      (** deferred foreign-lane signal pulses (dst node, pulse thunk),
+          newest first; executed at the barrier in the target lane's
+          context *)
+}
+
+type par = {
+  p_lanes : lane array;  (** one per node *)
+  mutable p_window_end : float;
+      (** events with [time < p_window_end] may fire in the current
+          window; a cross-lane push below it is a causality violation *)
+}
 
 type t = {
   mutable now : float;
   mutable seq : int;
-  events : ev Heap.t;
+  heap : eheap;
   mutable fired : int;
   sched : sched_state;
+  (* The tie buffer, reused across fires: same-time entries are popped
+     into these parallel arrays instead of a freshly-allocated list. *)
+  mutable tb_seq : int array;
+  mutable tb_label : label array;
+  mutable tb_run : (unit -> unit) array;
+  mutable par : par option;  (** [None] = sequential (the default) *)
 }
+
+(* The lane currently being driven by this domain (set by {!Par.run}
+   around each window, and by the barrier while applying deferred
+   pulses).  Sequential code never consults it: every fast path is
+   guarded by [t.par == None] first. *)
+let dls_lane : lane option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_lane () = !(Domain.DLS.get dls_lane)
+let set_current_lane l = Domain.DLS.get dls_lane := l
 
 (** Raised by [at] when asked to schedule an event before [now].  The
     payload records where the simulation stood so the offending call
     site can be located from a log alone. *)
 exception
   Past_event of { requested : float; now : float; fired : int; pending : int }
+
+(** Raised in parallel mode when an event is scheduled onto another
+    node's lane {e inside} the current lookahead window — i.e. the
+    declared lookahead (the minimum cross-node latency) was violated.
+    A conservative run must never see this. *)
+exception Cross_window of { dst : int; time : float; window_end : float }
 
 let () =
   Printexc.register_printer (function
@@ -136,6 +309,12 @@ let () =
              "Sim.Engine.Past_event { requested = %.9g; now = %.9g; fired = \
               %d; pending = %d }"
              requested now fired pending)
+    | Cross_window { dst; time; window_end } ->
+        Some
+          (Printf.sprintf
+             "Sim.Engine.Cross_window { dst = %d; time = %.9g; window_end = \
+              %.9g }"
+             dst time window_end)
     | _ -> None)
 
 let create ?(schedule = Fifo) () =
@@ -151,27 +330,42 @@ let create ?(schedule = Fifo) () =
     | Guided_jittered { seed; prob; max_delay; choose } ->
         S_guided { choose; delays = Some (Rng.create seed, prob, max_delay) }
   in
-  { now = 0.0; seq = 0; events = Heap.create (); fired = 0; sched }
+  {
+    now = 0.0;
+    seq = 0;
+    heap = q_create ();
+    fired = 0;
+    sched;
+    tb_seq = [||];
+    tb_label = [||];
+    tb_run = [||];
+    par = None;
+  }
 
-let now t = t.now
+let now t =
+  match t.par with
+  | None -> t.now
+  | Some _ -> ( match current_lane () with Some l -> l.l_now | None -> t.now)
 
-let events_fired t = t.fired
+let events_fired t =
+  match t.par with
+  | None -> t.fired
+  | Some p -> Array.fold_left (fun acc l -> acc + l.l_fired) t.fired p.p_lanes
 
-let pending t = Heap.length t.events
+let pending t =
+  match t.par with
+  | None -> t.heap.q_size
+  | Some p -> Array.fold_left (fun acc l -> acc + l.l_heap.q_size) t.heap.q_size p.p_lanes
 
 (** [at t ?label time f] schedules [f] to fire at absolute [time].
     Requires [time >= now t].  [label] (default: unknown) declares the
-    event's dependency footprint for {!Guided} exploration. *)
-let at t ?(label = no_label) time f =
+    event's dependency footprint for {!Guided} exploration and names the
+    owning lane in parallel mode. *)
+let at_seq t label time f =
   if time < t.now then
     raise
       (Past_event
-         {
-           requested = time;
-           now = t.now;
-           fired = t.fired;
-           pending = Heap.length t.events;
-         });
+         { requested = time; now = t.now; fired = t.fired; pending = t.heap.q_size });
   let time =
     match t.sched with
     | S_jittered { delays; prob; max_delay; _ }
@@ -180,73 +374,128 @@ let at t ?(label = no_label) time f =
         time +. Rng.float delays max_delay
     | _ -> time
   in
-  Heap.push t.events ~time ~seq:t.seq { ev_label = label; ev_run = f };
+  q_push t.heap ~time ~seq:t.seq ~label f;
   t.seq <- t.seq + 1
 
-(** [after t ?label dt f] schedules [f] to fire [dt] seconds from now. *)
-let after t ?label dt f = at t ?label (t.now +. dt) f
-
-let fire t (e : ev Heap.entry) =
-  t.now <- e.Heap.time;
-  t.fired <- t.fired + 1;
-  e.Heap.value.ev_run ()
-
-(* Pop every further entry scheduled for exactly [first]'s time; the
-   result (including [first]) is in insertion order because the heap
-   pops ties FIFO. *)
-let pop_tie_set t (first : ev Heap.entry) =
-  let rec go acc =
-    match Heap.peek t.events with
-    | Some e when e.Heap.time = first.Heap.time ->
-        ignore (Heap.pop t.events);
-        go (e :: acc)
-    | _ -> List.rev acc
+(* Lane-side scheduling: an event for this lane's own node goes straight
+   into the lane heap; one for another node is buffered for the barrier
+   merge (and must land at or beyond the window end — the lookahead
+   guarantee).  Unlabeled events stay on the scheduling lane.  Parallel
+   mode is Fifo-only, so there is no jitter path here. *)
+let at_lane p l label time f =
+  if time < l.l_now then
+    raise
+      (Past_event
+         { requested = time; now = l.l_now; fired = l.l_fired; pending = l.l_heap.q_size });
+  let dst =
+    if label.lbl_node >= 0 && label.lbl_node < Array.length p.p_lanes then
+      label.lbl_node
+    else l.l_id
   in
-  go [ first ]
+  if dst = l.l_id then begin
+    q_push l.l_heap ~time ~seq:l.l_seq ~label f;
+    l.l_seq <- l.l_seq + 1
+  end
+  else begin
+    if time < p.p_window_end then
+      raise (Cross_window { dst; time; window_end = p.p_window_end });
+    l.l_out <-
+      { x_dst = dst; x_time = time; x_src = l.l_id; x_src_seq = l.l_seq; x_label = label; x_run = f }
+      :: l.l_out;
+    l.l_seq <- l.l_seq + 1
+  end
+
+let at t ?(label = no_label) time f =
+  match t.par with
+  | None -> at_seq t label time f
+  | Some p -> (
+      match current_lane () with
+      | Some l -> at_lane p l label time f
+      | None -> at_seq t label time f)
+
+(** [after t ?label dt f] schedules [f] to fire [dt] seconds from now
+    (the lane clock in parallel mode). *)
+let after t ?label dt f = at t ?label (now t +. dt) f
+
+(* --- tie-set machinery (non-Fifo schedules) --- *)
+
+let tb_ensure t n =
+  if Array.length t.tb_seq < n then begin
+    let cap = max 16 (2 * n) in
+    let seq' = Array.make cap 0 in
+    let label' = Array.make cap no_label in
+    let run' = Array.make cap nop in
+    Array.blit t.tb_seq 0 seq' 0 (Array.length t.tb_seq);
+    Array.blit t.tb_label 0 label' 0 (Array.length t.tb_label);
+    Array.blit t.tb_run 0 run' 0 (Array.length t.tb_run);
+    t.tb_seq <- seq';
+    t.tb_label <- label';
+    t.tb_run <- run'
+  end
+
+(* Pop every entry scheduled for exactly the root's time into the tie
+   buffer; the buffer is in insertion order because the heap pops ties
+   FIFO.  Returns (time, count). *)
+let pop_ties t =
+  let h = t.heap in
+  let time = h.q_time.(0) in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    tb_ensure t (!n + 1);
+    t.tb_seq.(!n) <- h.q_seq.(0);
+    t.tb_label.(!n) <- h.q_label.(0);
+    t.tb_run.(!n) <- h.q_run.(0);
+    q_drop h;
+    incr n;
+    if h.q_size = 0 || h.q_time.(0) <> time then continue := false
+  done;
+  (time, !n)
 
 (* Fire tie [i], pushing the others back with their original [seq] so a
    later pop sees them in unchanged relative order. *)
-let fire_choice t ties i =
-  let chosen = List.nth ties i in
-  List.iteri
-    (fun j (e : ev Heap.entry) ->
-      if j <> i then Heap.push t.events ~time:e.Heap.time ~seq:e.Heap.seq e.Heap.value)
-    ties;
-  fire t chosen
+let fire_choice t time n i =
+  for j = 0 to n - 1 do
+    if j <> i then q_push t.heap ~time ~seq:t.tb_seq.(j) ~label:t.tb_label.(j) t.tb_run.(j)
+  done;
+  t.now <- time;
+  t.fired <- t.fired + 1;
+  let run = t.tb_run.(i) in
+  run ()
 
 (** [step t] fires one pending event — the earliest, with same-time ties
     broken by the schedule policy.  Returns [false] when the event heap
     is empty. *)
 let step t =
-  match Heap.pop t.events with
-  | None -> false
-  | Some e ->
-      (match t.sched with
-      | S_fifo -> fire t e
-      | S_seeded rng | S_jittered { ties = rng; _ } -> (
-          match pop_tie_set t e with
-          | [ only ] -> fire t only
-          | ties -> fire_choice t ties (Rng.int rng (List.length ties)))
-      | S_choose f -> (
-          match pop_tie_set t e with
-          | [ only ] -> fire t only
-          | ties ->
-              let n = List.length ties in
-              let i = f n in
-              fire_choice t ties (if i < 0 || i >= n then 0 else i))
-      | S_guided { choose = f; _ } ->
-          let ties = pop_tie_set t e in
-          let cands =
-            Array.of_list
-              (List.map
-                 (fun (e : ev Heap.entry) ->
-                   { ch_label = e.Heap.value.ev_label; ch_seq = e.Heap.seq })
-                 ties)
-          in
-          let n = Array.length cands in
-          let i = f cands in
-          fire_choice t ties (if i < 0 || i >= n then 0 else i));
-      true
+  let h = t.heap in
+  if h.q_size = 0 then false
+  else begin
+    (match t.sched with
+    | S_fifo ->
+        t.now <- h.q_time.(0);
+        t.fired <- t.fired + 1;
+        let run = h.q_run.(0) in
+        q_drop h;
+        run ()
+    | S_seeded rng | S_jittered { ties = rng; _ } ->
+        let time, n = pop_ties t in
+        if n = 1 then fire_choice t time 1 0
+        else fire_choice t time n (Rng.int rng n)
+    | S_choose f ->
+        let time, n = pop_ties t in
+        if n = 1 then fire_choice t time 1 0
+        else
+          let i = f n in
+          fire_choice t time n (if i < 0 || i >= n then 0 else i)
+    | S_guided { choose = f; _ } ->
+        let time, n = pop_ties t in
+        let cands =
+          Array.init n (fun j -> { ch_label = t.tb_label.(j); ch_seq = t.tb_seq.(j) })
+        in
+        let i = f cands in
+        fire_choice t time n (if i < 0 || i >= n then 0 else i));
+    true
+  end
 
 (** [run ?until ?max_events t] fires events until the heap is empty, the
     clock passes [until], or [max_events] have fired.  Returns the reason
@@ -254,25 +503,141 @@ let step t =
 type stop_reason = Quiescent | Deadline | Event_budget
 
 let run ?until ?max_events t =
-  let deadline_hit () =
-    match until with
-    | None -> false
-    | Some d -> (
-        match Heap.peek t.events with
-        | None -> false
-        | Some e -> e.Heap.time > d)
-  in
-  let budget_hit fired0 =
-    match max_events with None -> false | Some m -> t.fired - fired0 >= m
-  in
   let fired0 = t.fired in
-  let rec loop () =
-    if deadline_hit () then begin
-      (match until with Some d -> t.now <- max t.now d | None -> ());
-      Deadline
-    end
-    else if budget_hit fired0 then Event_budget
-    else if step t then loop ()
-    else Quiescent
+  let until_v = match until with None -> Float.infinity | Some d -> d in
+  let budget = match max_events with None -> max_int | Some m -> m in
+  let h = t.heap in
+  let reason = ref Quiescent in
+  let continue = ref true in
+  (match t.sched with
+  | S_fifo ->
+      (* The hot loop: no allocation per event — the deadline check reads
+         the root time directly and firing pops in place. *)
+      while !continue do
+        if h.q_size > 0 && h.q_time.(0) > until_v then begin
+          t.now <- Float.max t.now until_v;
+          reason := Deadline;
+          continue := false
+        end
+        else if t.fired - fired0 >= budget then begin
+          reason := Event_budget;
+          continue := false
+        end
+        else if h.q_size = 0 then begin
+          reason := Quiescent;
+          continue := false
+        end
+        else begin
+          t.now <- h.q_time.(0);
+          t.fired <- t.fired + 1;
+          let run = h.q_run.(0) in
+          q_drop h;
+          run ()
+        end
+      done
+  | _ ->
+      while !continue do
+        if h.q_size > 0 && h.q_time.(0) > until_v then begin
+          t.now <- Float.max t.now until_v;
+          reason := Deadline;
+          continue := false
+        end
+        else if t.fired - fired0 >= budget then begin
+          reason := Event_budget;
+          continue := false
+        end
+        else if not (step t) then begin
+          reason := Quiescent;
+          continue := false
+        end
+      done);
+  !reason
+
+(* --- parallel-mode plumbing (driven by {!Par}) --- *)
+
+(** [par_install t ~nodes] splits the event store into [nodes] per-node
+    lanes, routing every pending event to its label's lane (unlabeled
+    events go to lane 0).  Requires the [Fifo] schedule: the other
+    policies permute same-time ties globally, which has no meaning once
+    the tie-set is split across lanes. *)
+let par_install t ~nodes =
+  (match t.par with Some _ -> invalid_arg "Engine.par_install: already parallel" | None -> ());
+  (match t.sched with
+  | S_fifo -> ()
+  | _ -> invalid_arg "Engine.par_install: parallel mode requires the Fifo schedule");
+  let lanes =
+    Array.init nodes (fun i ->
+        {
+          l_id = i;
+          l_heap = q_create ();
+          l_now = t.now;
+          l_seq = 0;
+          l_fired = 0;
+          l_out = [];
+          l_out_pulses = [];
+        })
   in
-  loop ()
+  let h = t.heap in
+  while h.q_size > 0 do
+    let time = h.q_time.(0) and label = h.q_label.(0) and run = h.q_run.(0) in
+    q_drop h;
+    let dst = if label.lbl_node >= 0 && label.lbl_node < nodes then label.lbl_node else 0 in
+    let l = lanes.(dst) in
+    q_push l.l_heap ~time ~seq:l.l_seq ~label run;
+    l.l_seq <- l.l_seq + 1
+  done;
+  let p = { p_lanes = lanes; p_window_end = t.now } in
+  t.par <- Some p;
+  p
+
+(** [par_remove t] folds the lanes back into the sequential store: fired
+    counts are added up and leftover events (a deadline stop leaves some
+    pending) are re-inserted in deterministic (time, lane, lane-seq)
+    order with fresh global sequence numbers. *)
+let par_remove t =
+  match t.par with
+  | None -> ()
+  | Some p ->
+      t.par <- None;
+      let leftovers = ref [] in
+      Array.iter
+        (fun l ->
+          t.fired <- t.fired + l.l_fired;
+          t.now <- Float.max t.now l.l_now;
+          let h = l.l_heap in
+          while h.q_size > 0 do
+            leftovers :=
+              (h.q_time.(0), l.l_id, h.q_seq.(0), h.q_label.(0), h.q_run.(0)) :: !leftovers;
+            q_drop h
+          done)
+        p.p_lanes;
+      List.iter
+        (fun (time, _, _, label, run) ->
+          q_push t.heap ~time ~seq:t.seq ~label run;
+          t.seq <- t.seq + 1)
+        (List.sort
+           (fun (ta, la, sa, _, _) (tb, lb, sb, _, _) ->
+             match Float.compare ta tb with
+             | 0 -> ( match compare la lb with 0 -> compare sa sb | c -> c)
+             | c -> c)
+           !leftovers)
+
+(** [par_foreign t label] — are we inside a parallel lane while [label]
+    names a different node's lane?  Used by {!Signal.pulse} to decide
+    whether a pulse must be deferred to the window barrier instead of
+    mutating another lane's waiter list. *)
+let par_foreign t label =
+  match t.par with
+  | None -> false
+  | Some _ -> (
+      match current_lane () with
+      | None -> false
+      | Some l -> label.lbl_node >= 0 && label.lbl_node <> l.l_id)
+
+(** [par_defer_pulse t label thunk] — buffer a foreign-lane pulse on the
+    current lane; the barrier replays it in the target lane's context at
+    the window boundary. *)
+let par_defer_pulse _t label thunk =
+  match current_lane () with
+  | Some l -> l.l_out_pulses <- (label.lbl_node, thunk) :: l.l_out_pulses
+  | None -> thunk ()

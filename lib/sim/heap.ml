@@ -1,77 +1,119 @@
-(** Array-based binary min-heap keyed by [(time, sequence)] pairs.
+(** Structure-of-arrays binary min-heap keyed by [(time, sequence)] pairs.
 
     The sequence number breaks ties so that events scheduled for the same
-    instant fire in FIFO order, which keeps the simulation deterministic. *)
+    instant fire in FIFO order, which keeps the simulation deterministic.
+
+    The keys live in parallel flat arrays — an unboxed [float array] for
+    the times and an [int array] for the sequence numbers — so sifting
+    touches no boxed values and pushing allocates nothing beyond the
+    occasional capacity doubling.  Because every [(time, seq)] key is
+    unique (sequence numbers never repeat), the pop order is a total
+    order independent of the internal array layout: this representation
+    pops bit-identically to the boxed-entry heap it replaced. *)
 
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+}
 
-let create () = { data = [||]; size = 0 }
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow h =
-  let cap = Array.length h.data in
+let grow h value =
+  let cap = Array.length h.times in
   let cap' = if cap = 0 then 16 else cap * 2 in
-  (* The dummy cell is only used to extend the array; it is overwritten
-     before it can ever be observed because [size] bounds all reads. *)
-  let dummy = h.data.(0) in
-  let data' = Array.make cap' dummy in
-  Array.blit h.data 0 data' 0 h.size;
-  h.data <- data'
+  let times' = Array.make cap' 0.0 in
+  let seqs' = Array.make cap' 0 in
+  (* The dummy cell only extends the array; it is overwritten before it
+     can ever be observed because [size] bounds all reads. *)
+  let values' = Array.make cap' value in
+  Array.blit h.times 0 times' 0 h.size;
+  Array.blit h.seqs 0 seqs' 0 h.size;
+  Array.blit h.values 0 values' 0 h.size;
+  h.times <- times';
+  h.seqs <- seqs';
+  h.values <- values'
 
 let push h ~time ~seq value =
-  let e = { time; seq; value } in
-  if h.size = Array.length h.data then
-    if h.size = 0 then h.data <- Array.make 16 e else grow h;
-  let data = h.data in
+  if h.size = Array.length h.times then grow h value;
+  let times = h.times and seqs = h.seqs and values = h.values in
+  (* Sift up by moving the hole: each step copies one entry down instead
+     of swapping, and the new element is written exactly once. *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  data.(!i) <- e;
-  (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if lt data.(!i) data.(parent) then begin
-      let tmp = data.(parent) in
-      data.(parent) <- data.(!i);
-      data.(!i) <- tmp;
-      i := parent
+    let p = (!i - 1) / 2 in
+    if time < times.(p) || (time = times.(p) && seq < seqs.(p)) then begin
+      times.(!i) <- times.(p);
+      seqs.(!i) <- seqs.(p);
+      values.(!i) <- values.(p);
+      i := p
     end
     else continue := false
-  done
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  values.(!i) <- value
 
-let peek h = if h.size = 0 then None else Some h.data.(0)
+(* Non-allocating root access: callers must check [is_empty] first. *)
+
+let top_time h = h.times.(0)
+let top_seq h = h.seqs.(0)
+let top_value h = h.values.(0)
+
+(** [drop h] removes the minimum entry without allocating.  Undefined on
+    an empty heap (callers check [is_empty]/[top_time] first). *)
+let drop h =
+  h.size <- h.size - 1;
+  let n = h.size in
+  if n > 0 then begin
+    let times = h.times and seqs = h.seqs and values = h.values in
+    let time = times.(n) and seq = seqs.(n) and v = values.(n) in
+    (* Sift the hole down from the root, then drop the last entry in. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if times.(c) < time || (times.(c) = time && seqs.(c) < seq) then begin
+          times.(!i) <- times.(c);
+          seqs.(!i) <- seqs.(c);
+          values.(!i) <- values.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    times.(!i) <- time;
+    seqs.(!i) <- seq;
+    values.(!i) <- v
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else Some { time = h.times.(0); seq = h.seqs.(0); value = h.values.(0) }
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let data = h.data in
-    let top = data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      data.(0) <- data.(h.size);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && lt data.(l) data.(!smallest) then smallest := l;
-        if r < h.size && lt data.(r) data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = data.(!smallest) in
-          data.(!smallest) <- data.(!i);
-          data.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
+    let top = { time = h.times.(0); seq = h.seqs.(0); value = h.values.(0) } in
+    drop h;
     Some top
   end

@@ -1,5 +1,7 @@
-(** Array-based binary min-heap keyed by [(time, sequence)]; ties break
-    in FIFO order so simulations are deterministic. *)
+(** Structure-of-arrays binary min-heap keyed by [(time, sequence)]; ties
+    break in FIFO order so simulations are deterministic.  Times live in
+    an unboxed [float array] and sequence numbers in an [int array], so
+    push/drop allocate nothing beyond occasional capacity doublings. *)
 
 type 'a entry = { time : float; seq : int; value : 'a }
 
@@ -9,8 +11,22 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-(** [push h ~time ~seq v] inserts [v]; [seq] orders same-time entries. *)
+(** [push h ~time ~seq v] inserts [v]; [seq] orders same-time entries.
+    Allocation-free except when the backing arrays grow. *)
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Non-allocating access to the minimum entry.  Undefined on an empty
+    heap — callers must check {!is_empty} first. *)
+val top_time : 'a t -> float
+
+val top_seq : 'a t -> int
+val top_value : 'a t -> 'a
+
+(** [drop h] removes the minimum entry without allocating.  Undefined on
+    an empty heap. *)
+val drop : 'a t -> unit
+
+(** Allocating compatibility interface. *)
 
 val peek : 'a t -> 'a entry option
 val pop : 'a t -> 'a entry option

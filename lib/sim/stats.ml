@@ -215,3 +215,36 @@ let log_nonzero h =
   done;
   if h.l_under > 0 then acc := (-1, h.l_under) :: !acc;
   !acc
+
+(* --- host GC accounting (for the speed benches and --gc-stats) --- *)
+
+(** Host-side allocation between two marks: how much real memory churn a
+    simulation run cost, reported alongside events/sec so allocation
+    regressions in the event core are visible. *)
+type gc_delta = {
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_compactions : int;
+}
+
+let gc_mark () = Gc.quick_stat ()
+
+let gc_delta (a : Gc.stat) =
+  let b = Gc.quick_stat () in
+  {
+    gc_minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+    gc_major_words = b.Gc.major_words -. a.Gc.major_words;
+    gc_promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+    gc_minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+    gc_major_collections = b.Gc.major_collections - a.Gc.major_collections;
+    gc_compactions = b.Gc.compactions - a.Gc.compactions;
+  }
+
+let pp_gc_delta ppf d =
+  Format.fprintf ppf
+    "minor %.1f Mw, major %.1f Mw, promoted %.1f Mw, collections %d minor / %d major, %d compactions"
+    (d.gc_minor_words /. 1e6) (d.gc_major_words /. 1e6) (d.gc_promoted_words /. 1e6)
+    d.gc_minor_collections d.gc_major_collections d.gc_compactions

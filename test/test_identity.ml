@@ -1,0 +1,200 @@
+(* Fifo bit-identity regression for the event core.
+
+   The simulator's verification story rests on the [Fifo] schedule being
+   exactly reproducible: every perf change to the heap, the dispatcher,
+   or the protocol fast paths must leave sequential runs bit-identical.
+   The goldens under [goldens/] record the exact Fifo outputs — raised
+   to full float-bit precision, which the benches' rounded tables would
+   hide — of three slices of the evaluation:
+
+   - a Table-1 slice: cached lock-acquire latency, MP and both SM
+     flavours;
+   - a Figure-3 slice: LU and Water-Nsq elapsed times at 1 and 4
+     processors under both synchronisation flavours;
+   - the IR corpus: per-kernel interpreter step counts, check-slot
+     counts, [r0] checksums and a digest of the final shared image.
+
+   Any engine change that perturbs event order, simulated timing, or
+   interpreter behaviour shows up as a byte diff against the golden.
+   After auditing an intentional behaviour change, regenerate with
+
+     SHASTA_UPDATE_GOLDENS=$PWD/test/goldens \
+       dune exec test/test_main.exe -- test identity
+
+   and commit the new golden alongside the change that explains it. *)
+
+module C = Shasta.Cluster
+module R = Shasta.Runtime
+
+let cluster ?(nodes = 4) ?(cpus = 4) ?(parallel = 1) () =
+  C.create
+    {
+      Shasta.Config.default with
+      Shasta.Config.net =
+        { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node = cpus };
+      parallel;
+      protocol =
+        { Protocol.Config.default with Protocol.Config.shared_size = 8 * 1024 * 1024 };
+    }
+
+(* Exact float rendering: decimal for the reader, bits for the byte
+   diff (two floats can share a %.6f rendering and still differ). *)
+let exact x = Printf.sprintf "%.6f (bits %016Lx)" x (Int64.bits_of_float x)
+
+(* --- Table 1 slice: cached lock acquire ----------------------------- *)
+
+type lock_kind = Mp_lock | Sm_lock | Sm_prefetch
+
+let lock_cached kind =
+  let cl = cluster ~nodes:1 ~cpus:1 () in
+  let addr = C.alloc cl 64 in
+  let acq = ref 0.0 in
+  let iters = 50 in
+  let _ =
+    C.spawn cl ~cpu:0 "locker" (fun h ->
+        for _ = 1 to iters do
+          let t0 = C.now cl in
+          (match kind with
+          | Mp_lock -> R.lock h 0
+          | Sm_lock -> R.sm_lock h addr
+          | Sm_prefetch -> R.sm_lock ~prefetch:true h addr);
+          R.flush h;
+          acq := !acq +. (C.now cl -. t0);
+          match kind with Mp_lock -> R.unlock h 0 | Sm_lock | Sm_prefetch -> R.sm_unlock h addr
+        done)
+  in
+  ignore (C.run cl);
+  !acq /. float_of_int iters
+
+let render_table1 buf =
+  List.iter
+    (fun (name, kind) ->
+      Buffer.add_string buf
+        (Printf.sprintf "table1-cached %-5s %s\n" name (exact (1e6 *. lock_cached kind))))
+    [ ("MP", Mp_lock); ("SM", Sm_lock); ("SM+pf", Sm_prefetch) ]
+
+(* --- Figure 3 slice: LU and Water-Nsq elapsed times ------------------ *)
+
+let fig3_apps = [ "LU"; "Water-Nsq" ]
+let fig3_procs = [ 1; 4 ]
+
+let render_figure3 buf =
+  List.iter
+    (fun app ->
+      let spec = Apps.Registry.find app in
+      List.iter
+        (fun (sname, sync) ->
+          List.iter
+            (fun nprocs ->
+              let cl = cluster () in
+              let elapsed, ok = Apps.Harness.run_spec cl spec ~nprocs ~sync () in
+              Buffer.add_string buf
+                (Printf.sprintf "figure3 %-10s %s@%d elapsed=%s ok=%b\n" app sname nprocs
+                   (exact elapsed) ok))
+            fig3_procs)
+        [ ("Mp", Apps.Harness.Mp); ("Sm", Apps.Harness.Sm) ])
+    fig3_apps
+
+(* --- IR corpus: interpreter fingerprints ----------------------------- *)
+
+(* FNV-style fold over the final shared image; one wrong word anywhere
+   changes the digest. *)
+let image_digest image =
+  Array.fold_left
+    (fun acc w -> Int64.add (Int64.mul acc 0x100000001b3L) w)
+    0xcbf29ce484222325L image
+
+let render_ircorpus buf =
+  List.iter
+    (fun (e : Apps.Ircorpus.entry) ->
+      let prog, _ =
+        Rewrite.Instrument.instrument ~options:Rewrite.Instrument.default_options
+          e.Apps.Ircorpus.e_program
+      in
+      let r = Apps.Ircorpus.run prog e in
+      Buffer.add_string buf
+        (Printf.sprintf "ircorpus %-12s steps=%d slots=%d r0=%016Lx image=%016Lx elapsed=%s\n"
+           e.Apps.Ircorpus.e_name r.Apps.Ircorpus.steps r.Apps.Ircorpus.check_slots
+           r.Apps.Ircorpus.r0
+           (image_digest r.Apps.Ircorpus.image)
+           (exact r.Apps.Ircorpus.elapsed)))
+    Apps.Ircorpus.all
+
+let render () =
+  let buf = Buffer.create 4096 in
+  render_table1 buf;
+  render_figure3 buf;
+  render_ircorpus buf;
+  Buffer.contents buf
+
+(* dune runtest runs in _build/default/test (where the deps glob put the
+   golden); dune exec runs from the workspace root. *)
+let golden_file =
+  if Sys.file_exists "goldens/fifo_identity.txt" then "goldens/fifo_identity.txt"
+  else "test/goldens/fifo_identity.txt"
+
+let test_fifo_identity () =
+  let got = render () in
+  match Sys.getenv_opt "SHASTA_UPDATE_GOLDENS" with
+  | Some dir ->
+      let path = Filename.concat dir (Filename.basename golden_file) in
+      Out_channel.with_open_bin path (fun oc -> output_string oc got);
+      Printf.printf "wrote %s\n" path
+  | None ->
+      let want = In_channel.with_open_bin golden_file In_channel.input_all in
+      Alcotest.(check string) "Fifo output matches committed golden byte-for-byte" want got
+
+(* --- Parallel cross-validation --------------------------------------- *)
+
+(* The conservative parallel driver must cross-validate against the
+   sequential Fifo engine: every run validates and the protocol sweeps
+   clean afterwards.  Elapsed time is near- but not bit-identical to
+   sequential — a cross-lane event merged at a window barrier receives a
+   fresh sequence number, so a same-time local/cross pair on one lane
+   can fire in the opposite order from the sequential global numbering.
+   That is a permutation of causally-concurrent events (the same class
+   a [Seeded] schedule explores), so we bound the drift tightly instead
+   of requiring equality.  The merge order itself is deterministic in
+   [(time, src lane, src seq)] and independent of how lanes are dealt to
+   workers, so parallel runs at different domain counts must agree
+   bit-for-bit with each other. *)
+let par_run app ~parallel =
+  let spec = Apps.Registry.find app in
+  let cl = cluster ~nodes:4 ~cpus:1 ~parallel () in
+  let elapsed, ok = Apps.Harness.run_spec cl spec ~nprocs:4 ~sync:Apps.Harness.Mp () in
+  let quiescent = Protocol.Engine.check_quiescent (C.protocol_engine cl) in
+  (elapsed, ok, quiescent)
+
+let test_parallel_cross_validation () =
+  List.iter
+    (fun app ->
+      let seq_elapsed, seq_ok, _ = par_run app ~parallel:1 in
+      Alcotest.(check bool) (app ^ " sequential validated") true seq_ok;
+      let par_elapsed =
+        List.map
+          (fun parallel ->
+            let elapsed, ok, quiescent = par_run app ~parallel in
+            Alcotest.(check bool) (Printf.sprintf "%s par%d validated" app parallel) true ok;
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s par%d quiescent" app parallel)
+              [] quiescent;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s par%d elapsed within 1e-3 of sequential" app parallel)
+              true
+              (abs_float (elapsed -. seq_elapsed) /. seq_elapsed < 1e-3);
+            elapsed)
+          [ 2; 4 ]
+      in
+      match par_elapsed with
+      | [ e2; e4 ] ->
+          Alcotest.(check int64)
+            (app ^ " par2 and par4 bit-identical")
+            (Int64.bits_of_float e2) (Int64.bits_of_float e4)
+      | _ -> assert false)
+    fig3_apps
+
+let suite =
+  [
+    Alcotest.test_case "Fifo bit-identity vs golden" `Slow test_fifo_identity;
+    Alcotest.test_case "parallel agrees with sequential" `Slow test_parallel_cross_validation;
+  ]

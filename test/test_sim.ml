@@ -458,6 +458,44 @@ let qcheck_heap_stable_reference =
       drain []
       = List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) entries)
 
+(* Arbitrary push/pop interleavings against a sorted-list reference
+   model: every pop mid-stream must return exactly what a stable
+   (time, seq) sort of the live entries would — this catches sift
+   bugs that only manifest after interior deletions, which the
+   push-all-then-drain properties above never exercise. *)
+let qcheck_heap_interleaved =
+  QCheck.Test.make ~name:"heap push/pop interleavings match reference model" ~count:300
+    QCheck.(list (option (pair (int_bound 5) small_nat)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (t, v) ->
+              let time = float_of_int t in
+              Heap.push h ~time ~seq:!seq v;
+              model := (time, !seq, v) :: !model;
+              incr seq;
+              true
+          | None -> (
+              let next =
+                List.fold_left
+                  (fun best ((t, s, _) as e) ->
+                    match best with
+                    | Some (bt, bs, _) when (bt, bs) <= (t, s) -> best
+                    | _ -> Some e)
+                  None !model
+              in
+              match (Heap.pop h, next) with
+              | None, None -> true
+              | Some e, Some (t, s, v) ->
+                  model := List.filter (fun (_, s', _) -> s' <> s) !model;
+                  e.Heap.time = t && e.Heap.value = v
+              | _ -> false))
+        ops)
+
 let qcheck_summary_mean =
   QCheck.Test.make ~name:"summary mean matches direct mean" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
@@ -499,5 +537,6 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_log_quantiles_within_bucket;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;
     QCheck_alcotest.to_alcotest qcheck_heap_stable_reference;
+    QCheck_alcotest.to_alcotest qcheck_heap_interleaved;
     QCheck_alcotest.to_alcotest qcheck_summary_mean;
   ]
