@@ -33,6 +33,8 @@ let experiments =
     ("scale_smoke", Scale.run_scale_smoke);
     ("speed", Speed.run_speed);
     ("speed_smoke", Speed.run_speed_smoke);
+    ("lint", Lint.run_lint);
+    ("lint_smoke", Lint.run_lint_smoke);
   ]
 
 let () =

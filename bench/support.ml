@@ -66,13 +66,10 @@ let print_table ~headers rows =
 (* --- machine-readable output --- *)
 
 (** [emit_json ~file ~bench ?meta fields] — write a benchmark result as
-    a deterministic JSON document ({!Load.Json}), tagged with the bench
-    name so trajectory files are self-describing.  All benches share
-    this one emitter so every BENCH_*.json has the same envelope. *)
-let emit_json ~file ~bench ?(meta = []) fields =
-  Load.Json.write_file file
-    (Load.Json.Obj (("bench", Load.Json.Str bench) :: (meta @ fields)));
-  Printf.printf "wrote %s\n" file
+    a deterministic JSON document, tagged with the bench name so
+    trajectory files are self-describing.  The envelope itself lives in
+    {!Load.Json.emit} so non-bench producers (the lint CLI) share it. *)
+let emit_json ~file ~bench ?meta fields = Load.Json.emit ~file ~bench ?meta fields
 
 let us t = Printf.sprintf "%.2f" (Sim.Units.to_us t)
 let ms t = Printf.sprintf "%.2f" (1000.0 *. t)

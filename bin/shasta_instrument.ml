@@ -1,11 +1,17 @@
-(* CLI: run the binary rewriter, the translation validator and the
-   redundant-check optimizer.
+(* CLI: run the binary rewriter, the translation validator, the
+   redundant-check optimizer, and the whole-program static analyzer
+   (race detector, batch-safety validator, affinity lint).
 
      dune exec bin/shasta_instrument.exe -- --program lock --no-batch
-     dune exec bin/shasta_instrument.exe -- --verify --lint-report lint.txt
+     dune exec bin/shasta_instrument.exe -- --verify --lint-report lint.json
      dune exec bin/shasta_instrument.exe -- --optimize
      dune exec bin/shasta_instrument.exe -- --mutants
-*)
+     dune exec bin/shasta_instrument.exe -- --races --batch-verify --affinity
+
+   [--lint-report FILE] writes the machine-readable results of every
+   selected mode as one JSON document in the shared BENCH_*.json
+   envelope ({!Load.Json.emit}), so CI artifacts from the lint job have
+   the same shape as the bench/serve trajectory files. *)
 
 let demo_programs =
   [
@@ -86,8 +92,11 @@ let lint_targets () =
     Apps.Ircorpus.all
   @ List.map (fun (n, _, p) -> (n, p)) demo_programs
 
-(* Accumulate report text so --lint-report can save what was printed. *)
+(* Accumulate report text (what was printed) and structured results
+   (what --lint-report emits inside the shared JSON envelope). *)
 let report_buf = Buffer.create 1024
+let json_fields : (string * Load.Json.t) list ref = ref []
+let add_json key v = json_fields := (key, v) :: !json_fields
 
 let out fmt =
   Printf.ksprintf
@@ -97,14 +106,30 @@ let out fmt =
     fmt
 
 let verify_mode ~options () =
-  out "translation validation (%s)\n\n" (if options.Rewrite.Instrument.redundant_elim then "optimized" else "default options");
+  let mode = if options.Rewrite.Instrument.redundant_elim then "optimized" else "default" in
+  out "translation validation (%s options)\n\n" mode;
   let failures = ref 0 in
+  let rows = ref [] in
   List.iter
     (fun (name, prog) ->
       let instrumented, stats = Rewrite.Instrument.instrument ~options prog in
       let reports = Rewrite.Verify.verify instrumented in
       let accesses = List.fold_left (fun a r -> a + r.Rewrite.Verify.r_accesses) 0 reports in
-      match Rewrite.Verify.diags reports with
+      let ds = Rewrite.Verify.diags reports in
+      rows :=
+        Load.Json.Obj
+          [
+            ("target", Load.Json.Str name);
+            ("ok", Load.Json.Bool (ds = []));
+            ("accesses", Load.Json.Int accesses);
+            ("eliminated", Load.Json.Int stats.Rewrite.Instrument.checks_eliminated);
+            ("hoisted", Load.Json.Int stats.Rewrite.Instrument.checks_hoisted);
+            ( "diags",
+              Load.Json.List
+                (List.map (fun d -> Load.Json.Str (Format.asprintf "%a" Rewrite.Verify.pp_diag d)) ds) );
+          ]
+        :: !rows;
+      match ds with
       | [] ->
           out "%-12s OK    %3d shared accesses covered" name accesses;
           if options.Rewrite.Instrument.redundant_elim then
@@ -116,12 +141,24 @@ let verify_mode ~options () =
           out "%-12s FAIL  %d uncovered of %d accesses\n" name (List.length ds) accesses;
           List.iter (fun d -> out "    %s\n" (Format.asprintf "%a" Rewrite.Verify.pp_diag d)) ds)
     (lint_targets ());
+  add_json ("verify_" ^ mode) (Load.Json.List (List.rev !rows));
   !failures
 
 let mutants_mode () =
   out "instrumenter-mutation sweep (validator must convict each family)\n\n";
   let reports = Check.Mutation.hunt_instrumenter () in
   List.iter (fun r -> out "%s\n" (Format.asprintf "%a" Check.Mutation.pp_ireport r)) reports;
+  add_json "imutants"
+    (Load.Json.List
+       (List.map
+          (fun (r : Check.Mutation.ireport) ->
+            Load.Json.Obj
+              [
+                ("mutation", Load.Json.Str r.Check.Mutation.i_label);
+                ("caught", Load.Json.Bool (r.Check.Mutation.i_caught <> None));
+                ("sites", Load.Json.Int r.Check.Mutation.i_sites);
+              ])
+          reports));
   if Check.Mutation.all_icaught reports then begin
     out "\nall %d instrumenter mutations caught\n" (List.length reports);
     0
@@ -130,6 +167,195 @@ let mutants_mode () =
     out "\nsome instrumenter mutations were MISSED\n";
     1
   end
+
+(* --- whole-program static analysis modes (PR 10) --- *)
+
+(* Exoneration sweep + seeded-mutation conviction: the sync corpus must
+   be race-free at [nprocs] threads, the single-process corpus at its
+   deployment concurrency of one, and every seeded sync mutation must
+   draw a race report. *)
+let races_mode ~nprocs () =
+  out "static race detection (%d threads on the sync corpus)\n\n" nprocs;
+  let failures = ref 0 in
+  let rows = ref [] in
+  let scan name ~nprocs prog =
+    let r = Rewrite.Races.analyze ~nprocs ~name prog in
+    let nraces = List.length r.Rewrite.Races.rep_races in
+    rows :=
+      Load.Json.Obj
+        [
+          ("kernel", Load.Json.Str name);
+          ("nprocs", Load.Json.Int nprocs);
+          ("atoms", Load.Json.Int (List.length r.Rewrite.Races.rep_atoms));
+          ("unresolved", Load.Json.Int r.Rewrite.Races.rep_unresolved);
+          ( "races",
+            Load.Json.List
+              (List.map
+                 (fun rc -> Load.Json.Str (Format.asprintf "%a" Rewrite.Races.pp_race rc))
+                 r.Rewrite.Races.rep_races) );
+        ]
+      :: !rows;
+    if nraces > 0 then begin
+      incr failures;
+      out "%-14s FAIL  %d race pair(s) at %d threads\n" name nraces nprocs;
+      List.iter
+        (fun rc -> out "    %s\n" (Format.asprintf "%a" Rewrite.Races.pp_race rc))
+        r.Rewrite.Races.rep_races
+    end
+    else
+      out "%-14s OK    %3d atoms, %d unresolved, 0 races at %d threads\n" name
+        (List.length r.Rewrite.Races.rep_atoms)
+        r.Rewrite.Races.rep_unresolved nprocs
+  in
+  List.iter
+    (fun (e : Apps.Ircorpus.entry) -> scan e.Apps.Ircorpus.e_name ~nprocs e.Apps.Ircorpus.e_program)
+    Apps.Ircorpus.sync;
+  List.iter
+    (fun (e : Apps.Ircorpus.entry) -> scan e.Apps.Ircorpus.e_name ~nprocs:1 e.Apps.Ircorpus.e_program)
+    Apps.Ircorpus.all;
+  add_json "races" (Load.Json.List (List.rev !rows));
+  out "\nsync-mutation sweep (race detector must convict each family)\n\n";
+  let reports = Check.Mutation.hunt_sync ~nprocs () in
+  List.iter (fun r -> out "%s\n" (Format.asprintf "%a" Check.Mutation.pp_sreport r)) reports;
+  add_json "smutants"
+    (Load.Json.List
+       (List.map
+          (fun (r : Check.Mutation.sreport) ->
+            Load.Json.Obj
+              [
+                ("mutation", Load.Json.Str r.Check.Mutation.s_label);
+                ("caught", Load.Json.Bool (r.Check.Mutation.s_caught <> None));
+                ("sites", Load.Json.Int r.Check.Mutation.s_sites);
+              ])
+          reports));
+  if Check.Mutation.all_scaught reports then
+    out "\nall %d sync mutations caught\n" (List.length reports)
+  else begin
+    incr failures;
+    out "\nsome sync mutations were MISSED\n"
+  end;
+  !failures
+
+(* Validate every dispatch-metadata table the interpreter would build —
+   raw, instrumented, and instrumented+optimized — then prove the
+   validator still has teeth by seeding one batch-boundary corruption. *)
+let batch_mode ~options () =
+  out "batch-safety validation (raw / instrumented / optimized metadata)\n\n";
+  let failures = ref 0 in
+  let rows = ref [] in
+  let optimized prog =
+    fst
+      (Rewrite.Instrument.instrument
+         ~options:{ options with Rewrite.Instrument.redundant_elim = true }
+         prog)
+  in
+  let targets =
+    List.concat_map
+      (fun (name, prog) ->
+        [
+          (name ^ ".raw", prog);
+          (name ^ ".inst", fst (Rewrite.Instrument.instrument ~options prog));
+          (name ^ ".opt", optimized prog);
+        ])
+      (lint_targets ()
+      @ List.map
+          (fun (e : Apps.Ircorpus.entry) -> (e.Apps.Ircorpus.e_name, e.Apps.Ircorpus.e_program))
+          Apps.Ircorpus.sync)
+  in
+  List.iter
+    (fun (name, prog) ->
+      let vs = Rewrite.Batch.validate_program prog in
+      rows :=
+        Load.Json.Obj
+          [
+            ("target", Load.Json.Str name);
+            ( "violations",
+              Load.Json.List
+                (List.map (fun v -> Load.Json.Str (Format.asprintf "%a" Rewrite.Batch.pp_violation v)) vs) );
+          ]
+        :: !rows;
+      if vs <> [] then begin
+        incr failures;
+        out "%-16s FAIL  %d violation(s)\n" name (List.length vs);
+        List.iter (fun v -> out "    %s\n" (Format.asprintf "%a" Rewrite.Batch.pp_violation v)) vs
+      end)
+    targets;
+  out "%d metadata tables validated, %d with violations\n" (List.length targets) !failures;
+  (* Seeded batch-boundary mutation: lengthen one pure run and demand a
+     conviction — a validator that cannot convict proves nothing. *)
+  let convicted =
+    List.exists
+      (fun (_, prog) ->
+        List.exists
+          (fun (p : Alpha.Program.procedure) ->
+            match Check.Mutation.swallow_dispatch p with
+            | Some (_, meta) -> Rewrite.Batch.validate_meta p meta <> []
+            | None -> false)
+          (Alpha.Program.procedures prog))
+      targets
+  in
+  if convicted then out "seeded batch-boundary mutation convicted\n"
+  else begin
+    incr failures;
+    out "seeded batch-boundary mutation NOT convicted\n"
+  end;
+  add_json "batch"
+    (Load.Json.Obj
+       [
+         ("tables", Load.Json.Int (List.length targets));
+         ("mutant_convicted", Load.Json.Bool convicted);
+         ("targets", Load.Json.List (List.rev !rows));
+       ]);
+  !failures
+
+(* Static affinity/false-sharing report over the sync corpus, under the
+   coarse 512B reference layout the granularity bench starts from. *)
+let affinity_mode ~nprocs () =
+  out "static affinity hints (sync corpus, reference block 512B)\n\n";
+  let bindings =
+    [
+      { Rewrite.Affinity.bd_arg = 0; bd_region = "hot"; bd_block = 512; bd_size = 64 * 1024 };
+      { Rewrite.Affinity.bd_arg = 1; bd_region = "bulk"; bd_block = 512; bd_size = 64 * 1024 };
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (e : Apps.Ircorpus.entry) ->
+      let name = e.Apps.Ircorpus.e_name in
+      let r = Rewrite.Races.analyze ~nprocs ~name e.Apps.Ircorpus.e_program in
+      let hints = Rewrite.Affinity.report ~bindings r in
+      out "%s:\n" name;
+      List.iter (fun h -> out "  %s\n" (Format.asprintf "%a" Rewrite.Affinity.pp_hint h)) hints;
+      rows :=
+        Load.Json.Obj
+          [
+            ("kernel", Load.Json.Str name);
+            ( "hints",
+              Load.Json.List
+                (List.map
+                   (fun h ->
+                     Load.Json.Obj
+                       [
+                         ("region", Load.Json.Str h.Rewrite.Affinity.h_region);
+                         ("arg", Load.Json.Int h.Rewrite.Affinity.h_arg);
+                         ("kind", Load.Json.Str (Rewrite.Affinity.kind_name h.Rewrite.Affinity.h_kind));
+                         ("block", Load.Json.Int h.Rewrite.Affinity.h_block);
+                         ("suggest", Load.Json.Int h.Rewrite.Affinity.h_suggest);
+                         ( "homing",
+                           match h.Rewrite.Affinity.h_homing with
+                           | None -> Load.Json.Null
+                           | Some hm -> Load.Json.Str (Rewrite.Affinity.homing_name hm) );
+                         ("reads", Load.Json.Int h.Rewrite.Affinity.h_reads);
+                         ("writes", Load.Json.Int h.Rewrite.Affinity.h_writes);
+                         ("stride", Load.Json.Int h.Rewrite.Affinity.h_stride);
+                         ("locked_writes", Load.Json.Int h.Rewrite.Affinity.h_locked_writes);
+                       ])
+                   hints) );
+          ]
+        :: !rows)
+    Apps.Ircorpus.sync;
+  add_json "affinity" (Load.Json.List (List.rev !rows));
+  0
 
 let () =
   let name = ref "lock" in
@@ -141,6 +367,10 @@ let () =
   let verify = ref false in
   let optimize = ref false in
   let mutants = ref false in
+  let races = ref false in
+  let batch_verify = ref false in
+  let affinity = ref false in
+  let nprocs = ref 4 in
   let lint_report = ref "" in
   let args =
     [
@@ -155,7 +385,11 @@ let () =
       ("--verify", Arg.Set verify, " validate check coverage over the IR corpus + demos");
       ("--optimize", Arg.Set optimize, " like --verify, with redundant_elim on (reports eliminated/hoisted)");
       ("--mutants", Arg.Set mutants, " sweep seeded instrumenter mutations; the validator must catch all");
-      ("--lint-report", Arg.Set_string lint_report, "FILE also write the report to FILE");
+      ("--races", Arg.Set races, " static race detection over the corpus + seeded sync mutations");
+      ("--batch-verify", Arg.Set batch_verify, " validate the interpreter's batch-dispatch metadata");
+      ("--affinity", Arg.Set affinity, " static affinity/false-sharing hints for the sync corpus");
+      ("--nprocs", Arg.Set_int nprocs, "N SPMD thread count for --races/--affinity (default 4)");
+      ("--lint-report", Arg.Set_string lint_report, "FILE write a JSON report (shared BENCH envelope) to FILE");
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "shasta_instrument [options]";
@@ -169,27 +403,28 @@ let () =
       redundant_elim = !redundant_elim;
     }
   in
-  let save_report () =
-    if !lint_report <> "" then begin
-      let oc = open_out !lint_report in
-      output_string oc (Buffer.contents report_buf);
-      close_out oc
-    end
+  let save_report ~failures =
+    if !lint_report <> "" then
+      Load.Json.emit ~file:!lint_report ~bench:"lint"
+        ~meta:[ ("nprocs", Load.Json.Int !nprocs); ("failures", Load.Json.Int failures) ]
+        (List.rev !json_fields)
   in
-  if !verify || !optimize || !mutants then begin
+  if !verify || !optimize || !mutants || !races || !batch_verify || !affinity then begin
     let failures = ref 0 in
-    if !verify then failures := !failures + verify_mode ~options ();
-    if !optimize then begin
-      if !verify then out "\n";
-      failures :=
-        !failures
-        + verify_mode ~options:{ options with Rewrite.Instrument.redundant_elim = true } ()
-    end;
-    if !mutants then begin
-      if !verify || !optimize then out "\n";
-      failures := !failures + mutants_mode ()
-    end;
-    save_report ();
+    let sep = ref false in
+    let mode f =
+      if !sep then out "\n";
+      sep := true;
+      failures := !failures + f ()
+    in
+    if !verify then mode (verify_mode ~options);
+    if !optimize then
+      mode (verify_mode ~options:{ options with Rewrite.Instrument.redundant_elim = true });
+    if !mutants then mode mutants_mode;
+    if !races then mode (races_mode ~nprocs:!nprocs);
+    if !batch_verify then mode (batch_mode ~options);
+    if !affinity then mode (affinity_mode ~nprocs:!nprocs);
+    save_report ~failures:!failures;
     exit (if !failures > 0 then 1 else 0)
   end;
   let _, descr, prog =

@@ -32,12 +32,17 @@ type outcome = { r0 : int64; stats : stats }
    and [m_pure.(pc)] = the length of the straight-line run of pure
    register-only instructions starting at [pc], which the main loop
    executes as one batch without touching the dispatch machinery. *)
+(* A memoized [Call] target: a procedure of the program, or a runtime
+   system call (a name the program does not define, accepted by
+   [Runtime.syscall] on first dispatch). *)
+type callee = Proc of Program.procedure | Sys
+
 type meta = {
   m_cost : int array;
   m_slots : int array;  (** check-slot size, 0 for non-check instructions *)
   m_target : int array;  (** resolved branch target, -1 otherwise *)
   m_pure : int array;
-  m_callee : Program.procedure option array;  (** memoized [Call] targets *)
+  m_callee : callee option array;  (** memoized [Call] targets *)
 }
 
 (* Pure = touches only the register files: no memory, control, traps or
@@ -274,17 +279,30 @@ let run ?(max_steps = 1_000_000_000) (program : Program.t) (rt : Runtime.t) ~ent
           rt.Runtime.mb ()
       | Insn.Br _ -> f.pc <- m.m_target.(pc)
       | Insn.Bcond (c, r, _) -> if eval_cond c (rget r) then f.pc <- m.m_target.(pc)
-      | Insn.Call name ->
+      | Insn.Call name -> (
           let callee =
             match m.m_callee.(pc) with
             | Some c -> c
             | None ->
-                let c = Program.find program name in
+                let c =
+                  match Program.find_opt program name with
+                  | Some p -> Proc p
+                  | None -> Sys
+                in
                 m.m_callee.(pc) <- Some c;
                 c
           in
-          call_stack := f :: !call_stack;
-          frame := { proc = callee; meta = meta_of callee; pc = 0 }
+          match callee with
+          | Proc p ->
+              call_stack := f :: !call_stack;
+              frame := { proc = p; meta = meta_of p; pc = 0 }
+          | Sys ->
+              (* A name the program does not define: a system call if
+                 the runtime accepts it (it may suspend the process, so
+                 flush accumulated cycles first), else a trap. *)
+              flush ();
+              if not (rt.Runtime.syscall name regs) then
+                raise (Program.Unknown_procedure name))
       | Insn.Ret -> (
           match !call_stack with
           | [] -> running := false

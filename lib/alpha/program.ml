@@ -56,6 +56,8 @@ let find t name =
   | Some p -> p
   | None -> raise (Unknown_procedure name)
 
+let find_opt t name = Hashtbl.find_opt t.procedures name
+
 let procedures t = List.rev_map (fun n -> Hashtbl.find t.procedures n) t.order
 
 let label_index p l =

@@ -43,7 +43,30 @@ type t = {
   poll : unit -> unit;  (** service incoming protocol messages *)
   prefetch_excl : int -> unit;  (** non-binding exclusive prefetch *)
   charge : int -> unit;  (** consume [n] cycles of simulated CPU time *)
+  syscall : string -> int64 array -> bool;
+      (** [syscall name regs]: a [Call] to a procedure the program does
+          not define is routed here with the live integer register file;
+          [true] means the runtime handled it (a system call — by
+          convention it reads its arguments from [a0..a5] and leaves
+          every register unchanged), [false] traps as an unknown
+          procedure.  The recognised names are the MP synchronisation
+          entry points below. *)
 }
+
+(* Synchronisation system calls: SPMD kernels reach the MP lock and
+   barrier manager ({!Shasta.Sync}) through plain [Call]s to these
+   reserved names — the IR-level twin of the API mode's
+   [lock]/[unlock]/[barrier].  Argument convention:
+   [sync_lock]/[sync_unlock] take the lock id in [a0];
+   [sync_barrier] takes the barrier id in [a0] and the party count in
+   [a1].  The static race detector ({!Rewrite.Races}) keys its lockset
+   and barrier-phase analyses on the same names. *)
+let sync_lock_proc = "sync_lock"
+let sync_unlock_proc = "sync_unlock"
+let sync_barrier_proc = "sync_barrier"
+
+let is_sync_proc n =
+  n = sync_lock_proc || n = sync_unlock_proc || n = sync_barrier_proc
 
 (** An in-process runtime with one flat memory image and no coherence;
     useful for unit-testing the interpreter and for "standard SMP"
@@ -86,4 +109,7 @@ let flat ?(hz = Sim.Units.default_cpu_hz) ?(charge = fun _ -> ()) ~size () =
     poll = (fun () -> ());
     prefetch_excl = (fun _ -> ());
     charge;
+    (* Uniprocessor synchronisation: a lock is always free, a barrier
+       has nobody to wait for. *)
+    syscall = (fun name _regs -> is_sync_proc name);
   }

@@ -380,6 +380,166 @@ let all =
 
 let find name = List.find (fun e -> e.e_name = name) all
 
+(* --- SPMD sync corpus --- *)
+
+(** Kernels in {!sync} are SPMD: every thread runs [main(a0 = shared
+    array, a1 = shared aux, a2 = iterations, a3 = tid, a4 = nprocs)]
+    and synchronises through the [sync_lock]/[sync_unlock]/
+    [sync_barrier] system procedures ({!Alpha.Runtime}).  They are the
+    ground truth for the static race detector: correctly synchronised
+    as written (zero races at any [nprocs]), racy under every seeded
+    sync mutation ({!Check.Mutation}).  They live in a separate list
+    because [all]'s kernels back bit-exact goldens keyed by name.
+
+    By convention [a0] points at a fine-grained region (per-thread hot
+    slots) and [a1] at a bulk region (read-mostly data), mirroring the
+    two-region layout {!run_spmd} allocates from. *)
+let sync =
+  [
+    (* False-sharing twin of the granularity micro: tid 0 initialises a
+       64-word bulk array and publishes a flag, one barrier, then every
+       thread hammers its own hot slot (stride 64) and sums the bulk
+       data plus its own slot.  The single barrier separates the
+       tid-0 writes from everyone's reads; the hot slots are disjoint
+       by tid arithmetic.  r0 = 2081 + iters on every thread. *)
+    k "fs-twin" "tid-0 publish + barrier, then per-thread hot slots at stride 64" ~mem:64
+      ~iters:40
+      Alpha.Asm.(
+        [
+          proc "main"
+            [
+              mov a0 s0;
+              mov a1 s1;
+              mov a2 s2;
+              mov a3 s3;
+              mov a4 s4;
+              li v0 0L;
+              bne s3 "wait" (* only tid 0 initialises *);
+              li s5 0L;
+              label "init";
+              slli s5 3 t0;
+              add s1 t0 t0;
+              addi s5 1 t1;
+              stq t1 0 t0 (* bulk[i] = i + 1 *);
+              addi s5 1 s5;
+              cmplti s5 64 t2;
+              bne t2 "init";
+              li t3 1L;
+              stq t3 512 s1 (* publish flag *);
+              label "wait";
+              li a0 10L;
+              mov s4 a1;
+              call "sync_barrier";
+              muli s3 64 t0;
+              add s0 t0 s5 (* s5 = &hot[tid], stride 64 bytes *);
+              label "loop";
+              ldq t1 0 s5;
+              addi t1 1 t1;
+              stq t1 0 s5;
+              subi s2 1 s2;
+              bgt s2 "loop";
+              li t4 0L;
+              label "rd";
+              slli t4 3 t5;
+              add s1 t5 t5;
+              ldq t6 0 t5;
+              add v0 t6 v0;
+              addi t4 1 t4;
+              cmplti t4 64 t7;
+              bne t7 "rd";
+              ldq t5 512 s1;
+              add v0 t5 v0 (* + flag *);
+              ldq t6 0 s5;
+              add v0 t6 v0 (* + own hot slot = iters *);
+              halt;
+            ];
+        ]);
+    (* Nearest-neighbour relaxation: each round every thread bumps its
+       own strip word, barriers, reads its right neighbour's word,
+       barriers again.  Writes land in even barrier phases, reads in
+       odd ones — the congruence part of the phase lattice is what
+       proves this race-free.  r0 = iters*(iters+1)/2, except 0 on the
+       last thread (its neighbour is the untouched guard word). *)
+    k "stencil-sync" "strip writes and neighbour reads split by two barriers per round"
+      ~mem:16 ~iters:12
+      Alpha.Asm.(
+        [
+          proc "main"
+            [
+              mov a0 s0;
+              mov a2 s2;
+              mov a3 s3;
+              mov a4 s4;
+              slli s3 3 t0;
+              add s0 t0 s5 (* own strip word *);
+              addi s5 8 s1 (* right neighbour *);
+              li v0 0L;
+              label "round";
+              ldq t1 0 s5;
+              addi t1 1 t1;
+              stq t1 0 s5;
+              li a0 20L;
+              mov s4 a1;
+              call "sync_barrier";
+              ldq t2 0 s1;
+              add v0 t2 v0;
+              li a0 21L;
+              mov s4 a1;
+              call "sync_barrier";
+              subi s2 1 s2;
+              bgt s2 "round";
+              halt;
+            ];
+        ]);
+    (* minidb's SPMD shape: a lock-protected record bumped through a
+       helper procedure (the lockset must survive the call edge), plus
+       a locked read-back, bracketed by barriers around the tid-0
+       initialisation and the final read.  r0 = 100 + nprocs*iters on
+       every thread, deterministically. *)
+    k "mdb-sync" "lock-protected record update via a helper call, barriers around init/readout"
+      ~mem:2 ~iters:10
+      Alpha.Asm.(
+        [
+          proc "main"
+            [
+              mov a0 s0;
+              mov a2 s2;
+              mov a3 s3;
+              mov a4 s4;
+              li s5 0L;
+              bne s3 "start";
+              li t0 100L;
+              stq t0 0 s0 (* record := 100 *);
+              label "start";
+              li a0 30L;
+              mov s4 a1;
+              call "sync_barrier";
+              label "outer";
+              li a0 1L;
+              call "sync_lock";
+              call "bump";
+              li a0 1L;
+              call "sync_unlock";
+              li a0 1L;
+              call "sync_lock";
+              ldq t2 0 s0;
+              add s5 t2 s5;
+              li a0 1L;
+              call "sync_unlock";
+              subi s2 1 s2;
+              bgt s2 "outer";
+              li a0 31L;
+              mov s4 a1;
+              call "sync_barrier";
+              ldq v0 0 s0;
+              halt;
+            ];
+          proc "bump" [ ldq t6 0 s0; addi t6 1 t6; stq t6 0 s0; ret ];
+        ]);
+  ]
+
+let find_sync name = List.find (fun e -> e.e_name = name) sync
+
 (* --- deterministic single-process runner --- *)
 
 type run_result = {
@@ -432,3 +592,95 @@ let run ?(max_steps = 20_000_000) ?iters (instrumented : Alpha.Program.t) (e : e
         check_slots = o.Alpha.Interp.stats.Alpha.Interp.check_slots;
         elapsed = C.now cl;
       }
+
+(* --- SPMD multi-thread runner --- *)
+
+type spmd_result = {
+  s_r0s : int64 array;  (** per-thread final [r0], indexed by tid *)
+  s_elapsed : float;  (** simulated seconds *)
+  s_regions : (string * Protocol.Engine.rstat) list;
+      (** cluster-wide per-region coherence counters, in layout order *)
+  s_migrations : int;  (** home-map entries migrated (0 under [Static]) *)
+}
+
+(** [run_spmd instrumented entry] — execute an instrumented sync-corpus
+    kernel on [nprocs] Shasta processes (thread [tid] on global
+    processor [tid]), with [a0] pointing at a fine "hot" allocation of
+    [8 * e_mem_words] bytes and [a1] at a coarse "bulk" allocation just
+    past it.  [regions]/[homing] parameterise the layout under test —
+    the affinity lint's suggestions are fed back through exactly these
+    two knobs — and the granularity hints place hot/bulk into the
+    finest/coarsest region the layout offers.  Deterministic for a
+    fixed configuration, so per-thread [r0]s double as a correctness
+    oracle for the sync kernels. *)
+let run_spmd ?(max_steps = 20_000_000) ?(nodes = 1) ?(cpus_per_node = 8) ?(nprocs = 4)
+    ?iters ?(regions = []) ?(homing = Protocol.Config.Static) ?migration_threshold
+    ?(check_invariants = false) (instrumented : Alpha.Program.t) (e : entry) =
+  if nprocs > nodes * cpus_per_node then
+    invalid_arg "run_spmd: nprocs exceeds the cluster's processors";
+  let cl =
+    C.create
+      {
+        Shasta.Config.default with
+        Shasta.Config.net =
+          { Mchan.Net.default_config with Mchan.Net.nodes; cpus_per_node };
+        protocol =
+          {
+            Protocol.Config.default with
+            Protocol.Config.regions;
+            homing;
+            check_invariants;
+            shared_size = 1 lsl 20;
+            migration_threshold =
+              Option.value migration_threshold
+                ~default:Protocol.Config.default.Protocol.Config.migration_threshold;
+          };
+      }
+  in
+  let block_hints =
+    match regions with
+    | [] -> (64, 64)
+    | rs ->
+        let blocks = List.map (fun r -> r.Protocol.Layout.rs_block) rs in
+        (List.fold_left min max_int blocks, List.fold_left max 0 blocks)
+  in
+  let hot = C.alloc ~granularity:(fst block_hints) cl (8 * e.e_mem_words) in
+  let bulk = C.alloc ~granularity:(snd block_hints) cl ((8 * e.e_mem_words) + 64) in
+  let iters = Option.value iters ~default:e.e_iters in
+  let r0s = Array.make nprocs None in
+  for tid = 0 to nprocs - 1 do
+    ignore
+      (C.spawn cl ~cpu:tid (Printf.sprintf "%s.%d" e.e_name tid) (fun h ->
+           let o =
+             R.run_program ~max_steps h instrumented ~entry:"main"
+               ~args:
+                 [
+                   Int64.of_int hot;
+                   Int64.of_int bulk;
+                   Int64.of_int iters;
+                   Int64.of_int tid;
+                   Int64.of_int nprocs;
+                 ]
+               ()
+           in
+           r0s.(tid) <- Some o.Alpha.Interp.r0))
+  done;
+  let elapsed = C.run cl in
+  let r0s =
+    Array.mapi
+      (fun tid r ->
+        match r with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "%s: thread %d did not complete" e.e_name tid))
+      r0s
+  in
+  let peng = C.protocol_engine cl in
+  let layout = Protocol.Engine.layout peng in
+  let regions =
+    Array.to_list
+      (Array.mapi
+         (fun ri st -> (Protocol.Layout.region_name layout ri, st))
+         (Protocol.Engine.region_stats peng))
+  in
+  let migrations, _, _ = C.migration_stats cl in
+  { s_r0s = r0s; s_elapsed = elapsed; s_regions = regions; s_migrations = migrations }

@@ -271,3 +271,165 @@ let pp_report ppf r =
   | None ->
       Format.fprintf ppf "%-24s MISSED after %d runs (bug %s)" r.m_label r.m_runs
         (if r.m_fired then "fired but was never detected" else "never even fired")
+
+(* --- sync (race) mutations ---
+
+   The protocol and instrumenter mutations seed bugs under and around
+   the application; these seed {e synchronisation} bugs in the
+   application itself — the four classic ways properly-synchronised
+   SPMD code goes wrong — and ask the static race detector
+   ({!Rewrite.Races}) to convict them, again with the site index as the
+   seed.  The substrate is the sync corpus ({!Apps.Ircorpus.sync}),
+   whose kernels are race-free as written, so any conviction is
+   attributable to the mutation. *)
+
+type smutation =
+  | Drop_lock  (** delete one [sync_lock] call: its critical section runs bare *)
+  | Wrong_lock_id  (** acquire a different lock than the data's convention *)
+  | Drop_barrier  (** elide one [sync_barrier] call: phases collapse *)
+  | Publish_after_barrier
+      (** move a store from before a barrier to after it — the publish
+          lands in the readers' phase (a phase-skew, not a missing
+          barrier) *)
+
+let all_smutations =
+  [
+    (Drop_lock, "drop-lock");
+    (Wrong_lock_id, "wrong-lock-id");
+    (Drop_barrier, "barrier-elided");
+    (Publish_after_barrier, "phase-skewed-publish");
+  ]
+
+(** [apply_smutation m ~site program] — rewrite the [site]-th applicable
+    site, on the same (mutated program, fired, sites) contract as
+    {!apply_imutation}.  Works on uninstrumented programs: the sync
+    calls are in the source kernel, not inserted by the rewriter. *)
+let apply_smutation m ~site (prog : Alpha.Program.t) =
+  let counter = ref (-1) in
+  let fired = ref false in
+  let hit () =
+    incr counter;
+    if !counter = site then begin
+      fired := true;
+      true
+    end
+    else false
+  in
+  let module I = Alpha.Insn in
+  (* Straight-line separators a publish may be carried across: constant
+     loads, register moves/arithmetic, and labels (the store must stay
+     on its own side of any branch, so control flow ends the search). *)
+  let rec split_to_barrier acc = function
+    | ((I.Li _ | I.Binop _ | I.Label _) as x) :: rest -> split_to_barrier (x :: acc) rest
+    | I.Call n :: rest when n = Alpha.Runtime.sync_barrier_proc ->
+        Some (List.rev acc, rest)
+    | _ -> None
+  in
+  let rec go insns =
+    match insns with
+    | [] -> []
+    | x :: rest -> (
+        match (m, x, rest) with
+        | Drop_lock, I.Call n, _ when n = Alpha.Runtime.sync_lock_proc ->
+            if hit () then go rest else x :: go rest
+        | Wrong_lock_id, I.Li (r, v), I.Call n :: _
+          when r = 16 (* a0 *) && n = Alpha.Runtime.sync_lock_proc ->
+            if hit () then I.Li (r, Int64.add v 1L) :: go rest else x :: go rest
+        | Drop_barrier, I.Call n, _ when n = Alpha.Runtime.sync_barrier_proc ->
+            if hit () then go rest else x :: go rest
+        | Publish_after_barrier, (I.St _ as st), _ -> (
+            match split_to_barrier [] rest with
+            | Some (sep, tail) ->
+                if hit () then
+                  sep @ (I.Call Alpha.Runtime.sync_barrier_proc :: st :: go tail)
+                else st :: go rest
+            | None -> st :: go rest)
+        | _ -> x :: go rest)
+  in
+  let prog' =
+    Alpha.Program.map_procedures prog (fun p -> go (Alpha.Program.to_insn_list p))
+  in
+  (prog', !fired, !counter + 1)
+
+type sreport = {
+  s_mutation : smutation;
+  s_label : string;
+  s_caught : (string * int) option;  (** [(kernel, site)] of the first conviction *)
+  s_fired : bool;
+  s_sites : int;  (** fired sites examined before the catch (or giving up) *)
+}
+
+(** [hunt_sync ()] — for each sync-mutation family, sweep every
+    applicable site of every sync-corpus kernel until the static race
+    detector convicts one.  [nprocs] is the thread count the detector
+    reasons about (any count >= 2 should convict). *)
+let hunt_sync ?(nprocs = 4) () =
+  let corpus =
+    List.map (fun (e : Apps.Ircorpus.entry) -> (e.Apps.Ircorpus.e_name, e.Apps.Ircorpus.e_program)) Apps.Ircorpus.sync
+  in
+  List.map
+    (fun (m, label) ->
+      let caught = ref None in
+      let fired = ref false in
+      let examined = ref 0 in
+      (try
+         List.iter
+           (fun (name, prog) ->
+             let _, _, nsites = apply_smutation m ~site:(-1) prog in
+             for site = 0 to nsites - 1 do
+               let prog', f, _ = apply_smutation m ~site prog in
+               if f then begin
+                 fired := true;
+                 incr examined;
+                 let r = Rewrite.Races.analyze ~nprocs ~name prog' in
+                 if r.Rewrite.Races.rep_races <> [] then begin
+                   caught := Some (name, site);
+                   raise Exit
+                 end
+               end
+             done)
+           corpus
+       with Exit -> ());
+      { s_mutation = m; s_label = label; s_caught = !caught; s_fired = !fired; s_sites = !examined })
+    all_smutations
+
+let all_scaught reports = List.for_all (fun r -> r.s_caught <> None) reports
+
+let pp_sreport ppf r =
+  match r.s_caught with
+  | Some (kernel, site) ->
+      Format.fprintf ppf "%-20s caught by the race detector in %s at site %d (%d site%s)"
+        r.s_label kernel site r.s_sites
+        (if r.s_sites = 1 then "" else "s")
+  | None ->
+      Format.fprintf ppf "%-20s MISSED after %d sites (mutation %s)" r.s_label r.s_sites
+        (if r.s_fired then "fired but drew no race report" else "never fired")
+
+(* --- batch-boundary mutation ---
+
+   One seeded corruption of the interpreter's dispatch metadata: a pure
+   run lengthened by one instruction, so the batched main loop would
+   execute the dispatch point that follows it — a poll, a check, a
+   memory access — as if it were register arithmetic.  The batch-safety
+   validator ({!Rewrite.Batch}) must convict it. *)
+
+(** [swallow_dispatch proc] — [proc]'s freshly built metadata with its
+    first extensible pure run grown by one, or [None] when the
+    procedure has no pure run followed by another instruction. *)
+let swallow_dispatch (proc : Alpha.Program.procedure) =
+  let m = Alpha.Interp.build_meta proc in
+  let n = Array.length proc.Alpha.Program.code in
+  let pure = Array.copy m.Alpha.Interp.m_pure in
+  let site = ref None in
+  (try
+     for pc = 0 to n - 1 do
+       if !site = None && pure.(pc) > 0 && pc + pure.(pc) < n then begin
+         site := Some pc;
+         pure.(pc) <- pure.(pc) + 1;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !site with
+  | None -> None
+  | Some pc -> Some (pc, { m with Alpha.Interp.m_pure = pure })

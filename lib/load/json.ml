@@ -77,3 +77,12 @@ let write_file path v =
   output_string oc (to_string v);
   output_char oc '\n';
   close_out oc
+
+(** [emit ~file ~bench ?meta fields] — the shared report envelope: a
+    deterministic JSON document tagged with the producing bench/tool
+    name, so every machine-readable artifact (BENCH_*.json trajectory
+    files, serve reports, lint reports) is self-describing and has the
+    same top-level shape. *)
+let emit ~file ~bench ?(meta = []) fields =
+  write_file file (Obj (("bench", Str bench) :: (meta @ fields)));
+  Printf.printf "wrote %s\n" file

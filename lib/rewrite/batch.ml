@@ -1,0 +1,172 @@
+(** Batch-safety validator for the interpreter's dispatch metadata.
+
+    {!Alpha.Interp.build_meta} precomputes [m_pure.(pc)] — the length
+    of the straight-line run of register-only instructions starting at
+    [pc] — and the main loop executes such a run as one batch between
+    two dispatch points.  That is only sound if nothing inside a run
+    can observe simulated time or touch the runtime: a [Poll], [Mb],
+    [Call], memory access, or check pseudo-instruction swallowed
+    mid-batch would execute without its flush/dispatch, silently
+    breaking the protocol's progress and ordering guarantees (the
+    rewriter's whole point is that those instructions {e do} run).
+
+    This module re-derives the batch boundaries independently — its own
+    positive list of batchable instructions, written out rather than
+    shared with the interpreter, so a bug in [is_pure] cannot hide
+    itself — and convicts any [meta] whose runs swallow an unsafe
+    instruction, overrun the procedure, or disagree with the maximal
+    re-derivation.  The branch-target, check-slot, cost, and memoized
+    call-target tables are cross-checked too: every entry the
+    interpreter will trust is validated against the program text. *)
+
+(* The independent positive list: instructions that touch only the
+   register files.  Deliberately NOT a call into [Interp.is_pure] —
+   keep the validator's ground truth separate from the code under
+   validation.  Everything else (loads, stores, LL/SC, MB, control
+   flow, calls, and every rewriter pseudo-instruction, each of which
+   must reach its runtime callback) is a dispatch point. *)
+let batch_safe = function
+  | Alpha.Insn.Binop _ | Alpha.Insn.Li _ | Alpha.Insn.Lif _ | Alpha.Insn.Fbinop _
+  | Alpha.Insn.Fcmp _ | Alpha.Insn.Cvt_if _ | Alpha.Insn.Cvt_fi _ | Alpha.Insn.Fmov _ ->
+      true
+  | Alpha.Insn.Ld _ | Alpha.Insn.St _ | Alpha.Insn.Ldf _ | Alpha.Insn.Stf _
+  | Alpha.Insn.Ll _ | Alpha.Insn.Sc _ | Alpha.Insn.Mb | Alpha.Insn.Br _
+  | Alpha.Insn.Bcond _ | Alpha.Insn.Call _ | Alpha.Insn.Ret | Alpha.Insn.Halt
+  | Alpha.Insn.Load_check _ | Alpha.Insn.Store_check _ | Alpha.Insn.Batch_check _
+  | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ | Alpha.Insn.Gran_lookup _
+  | Alpha.Insn.Mb_check | Alpha.Insn.Poll | Alpha.Insn.Prefetch_excl _
+  | Alpha.Insn.Label _ ->
+      false
+
+type violation = {
+  v_proc : string;
+  v_index : int;
+  v_kind : string;  (** machine-readable: "swallowed", "overrun", ... *)
+  v_detail : string;
+}
+
+let violation proc index kind fmt =
+  Format.kasprintf (fun detail -> { v_proc = proc; v_index = index; v_kind = kind; v_detail = detail }) fmt
+
+(** [validate_meta proc meta] — every violation in [meta]'s tables
+    against [proc]'s code.  Empty = the metadata is safe to dispatch. *)
+let validate_meta (proc : Alpha.Program.procedure) (m : Alpha.Interp.meta) =
+  let code = proc.Alpha.Program.code in
+  let name = proc.Alpha.Program.name in
+  let n = Array.length code in
+  let out = ref [] in
+  let push v = out := v :: !out in
+  if Array.length m.Alpha.Interp.m_pure <> n then
+    push (violation name 0 "shape" "m_pure has %d entries for %d instructions"
+            (Array.length m.Alpha.Interp.m_pure) n);
+  (* Independent re-derivation of the maximal safe run lengths. *)
+  let expected = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    if batch_safe code.(i) then
+      expected.(i) <- 1 + (if i + 1 < n then expected.(i + 1) else 0)
+  done;
+  for pc = 0 to min n (Array.length m.Alpha.Interp.m_pure) - 1 do
+    let run = m.Alpha.Interp.m_pure.(pc) in
+    if run < 0 || pc + run > n then
+      push (violation name pc "overrun" "batch of %d at %d overruns the %d-instruction procedure" run pc n)
+    else begin
+      (* The safety core: nothing unsafe inside the claimed run. *)
+      for i = pc to pc + run - 1 do
+        if not (batch_safe code.(i)) then
+          push
+            (violation name pc "swallowed" "batch of %d at %d swallows dispatch point %a at %d"
+               run pc Alpha.Insn.pp code.(i) i)
+      done;
+      (* Exactness against the re-derivation: a short run is not a
+         soundness bug but means the two derivations disagree, which is
+         worth convicting at build time rather than wondering later. *)
+      if run <> expected.(pc) then
+        push
+          (violation name pc "length" "batch length %d at %d disagrees with re-derived %d" run
+             pc expected.(pc))
+    end
+  done;
+  (* Branch targets: exactly the label indices, -1 elsewhere. *)
+  Array.iteri
+    (fun i insn ->
+      let expect =
+        match insn with
+        | Alpha.Insn.Br l | Alpha.Insn.Bcond (_, _, l) -> Alpha.Program.label_index proc l
+        | _ -> -1
+      in
+      if i < Array.length m.Alpha.Interp.m_target && m.Alpha.Interp.m_target.(i) <> expect
+      then
+        push
+          (violation name i "target" "branch target %d at %d should be %d"
+             m.Alpha.Interp.m_target.(i) i expect))
+    code;
+  (* Check-slot sizes: the executed-check accounting must bill exactly
+     the check pseudo-instructions, nothing else. *)
+  Array.iteri
+    (fun i insn ->
+      let expect =
+        match insn with
+        | Alpha.Insn.Load_check _ | Alpha.Insn.Store_check _ | Alpha.Insn.Batch_check _
+        | Alpha.Insn.Ll_check _ | Alpha.Insn.Sc_check _ | Alpha.Insn.Gran_lookup _ ->
+            Alpha.Insn.size_in_slots insn
+        | _ -> 0
+      in
+      if i < Array.length m.Alpha.Interp.m_slots && m.Alpha.Interp.m_slots.(i) <> expect then
+        push
+          (violation name i "slots" "check-slot size %d at %d should be %d"
+             m.Alpha.Interp.m_slots.(i) i expect))
+    code;
+  (* Cycle costs: the batched path sums [m_cost] without re-consulting
+     the cost table, so a stale entry would silently skew timing. *)
+  Array.iteri
+    (fun i insn ->
+      let expect = Alpha.Cost.cycles insn in
+      if i < Array.length m.Alpha.Interp.m_cost && m.Alpha.Interp.m_cost.(i) <> expect then
+        push
+          (violation name i "cost" "cycle cost %d at %d should be %d"
+             m.Alpha.Interp.m_cost.(i) i expect))
+    code;
+  List.rev !out
+
+(** [validate_callees program proc meta] — any memoized call target
+    must agree with the program's procedure table: a [Proc] entry for a
+    name the program defines, [Sys] otherwise.  (Unmemoized [None]
+    entries are always fine — they resolve on first dispatch.) *)
+let validate_callees (program : Alpha.Program.t) (proc : Alpha.Program.procedure)
+    (m : Alpha.Interp.meta) =
+  let out = ref [] in
+  Array.iteri
+    (fun i insn ->
+      match (insn, m.Alpha.Interp.m_callee.(i)) with
+      | Alpha.Insn.Call callee, Some memo ->
+          let defined = Alpha.Program.find_opt program callee <> None in
+          let agrees =
+            match memo with
+            | Alpha.Interp.Proc p -> defined && p.Alpha.Program.name = callee
+            | Alpha.Interp.Sys -> not defined
+          in
+          if not agrees then
+            out :=
+              violation proc.Alpha.Program.name i "callee"
+                "memoized target of call to %s disagrees with the procedure table" callee
+              :: !out
+      | _, Some _ ->
+          out :=
+            violation proc.Alpha.Program.name i "callee"
+              "memoized call target on a non-call instruction"
+            :: !out
+      | _, None -> ())
+    proc.Alpha.Program.code;
+  List.rev !out
+
+(** [validate_program program] — build each procedure's metadata the
+    way the interpreter will and validate all of it. *)
+let validate_program (program : Alpha.Program.t) =
+  List.concat_map
+    (fun (p : Alpha.Program.procedure) ->
+      let m = Alpha.Interp.build_meta p in
+      validate_meta p m @ validate_callees program p m)
+    (Alpha.Program.procedures program)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s@%d [%s] %s" v.v_proc v.v_index v.v_kind v.v_detail

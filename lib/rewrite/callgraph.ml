@@ -1,0 +1,344 @@
+(** Whole-program call graph and interprocedural sharedness/escape
+    analysis over an {!Alpha.Program}.
+
+    {!Dataflow} classifies registers per procedure and must clobber
+    everything at a [Call]; here the register-class lattice
+    (Private/Shared/Top, including the float-laundering rules) is
+    propagated {e across} call edges instead, context-insensitively:
+
+    - the interpreter has one global register file and no save/restore
+      convention, so a callee's entry state is the join of the caller
+      states at its call sites, and the caller's state {e after} a call
+      is exactly the callee's exit state;
+    - calls to names the program does not define are runtime system
+      calls ({!Alpha.Runtime.is_sync_proc}), which by convention leave
+      every register unchanged; any other unknown callee clobbers to
+      [Top] like the intra-procedural analysis.
+
+    The escape report lists every store whose {e stored value} is
+    classed [Shared] or [Top] — a shared pointer written into memory
+    (e.g. barnes' [arr[8] = &arr]), the sites where the points-to
+    story leaves the register file.  Everything here is a reporting /
+    analysis layer: instrumentation itself keeps using the
+    conservative per-procedure {!Dataflow}. *)
+
+type site = {
+  cs_caller : string;
+  cs_index : int;  (** instruction index of the [Call] in the caller *)
+  cs_callee : string;
+  cs_external : bool;  (** callee not defined by the program *)
+}
+
+type t = {
+  program : Alpha.Program.t;
+  cfgs : (string * Cfg.t) list;  (** per procedure, in program order *)
+  sites : site list;  (** every call site, in program order *)
+  roots : string list;  (** procedures never called (entry points) *)
+}
+
+let cfg_of t name = List.assoc name t.cfgs
+
+let sites_of t name = List.filter (fun s -> s.cs_callee = name) t.sites
+
+let callees_of t name =
+  List.filter_map
+    (fun s -> if s.cs_caller = name then Some s.cs_callee else None)
+    t.sites
+
+let build (program : Alpha.Program.t) =
+  let procs = Alpha.Program.procedures program in
+  let cfgs = List.map (fun p -> (p.Alpha.Program.name, Cfg.build p)) procs in
+  let sites =
+    List.concat_map
+      (fun (p : Alpha.Program.procedure) ->
+        let out = ref [] in
+        Array.iteri
+          (fun i insn ->
+            match insn with
+            | Alpha.Insn.Call callee ->
+                out :=
+                  {
+                    cs_caller = p.Alpha.Program.name;
+                    cs_index = i;
+                    cs_callee = callee;
+                    cs_external = Alpha.Program.find_opt program callee = None;
+                  }
+                  :: !out
+            | _ -> ())
+          p.Alpha.Program.code;
+        List.rev !out)
+      procs
+  in
+  let called = List.map (fun s -> s.cs_callee) sites in
+  let roots =
+    List.filter_map
+      (fun (p : Alpha.Program.procedure) ->
+        if List.mem p.Alpha.Program.name called then None else Some p.Alpha.Program.name)
+      procs
+  in
+  (* Every program needs an entry: a fully cyclic program (no uncalled
+     procedure) is rooted at its first procedure. *)
+  let roots =
+    match (roots, procs) with [], p :: _ -> [ p.Alpha.Program.name ] | _ -> roots
+  in
+  { program; cfgs; sites; roots }
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural register classes.                                   *)
+
+type classes = {
+  cg : t;
+  entry : (string, Dataflow.state) Hashtbl.t;  (** classes at procedure entry *)
+  exit_ : (string, Dataflow.state) Hashtbl.t;
+      (** classes at [Ret]/fall-off exit; absent while no exit is reachable *)
+  before : (string, Dataflow.state array) Hashtbl.t;
+      (** per-instruction classes before each instruction *)
+  writes : (string, bool array * bool array) Hashtbl.t;
+      (** int/float registers a procedure (or its callees) may write *)
+}
+
+(* May-write summaries, transitively closed over the call graph; system
+   calls write nothing. *)
+let compute_writes (cg : t) =
+  let writes : (string, bool array * bool array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace writes name (Array.make 32 false, Array.make 32 false))
+    cg.cfgs;
+  let dest_regs insn =
+    match insn with
+    | Alpha.Insn.Binop (_, _, _, d)
+    | Alpha.Insn.Li (d, _)
+    | Alpha.Insn.Ld (_, d, _, _)
+    | Alpha.Insn.Ll (_, d, _, _)
+    | Alpha.Insn.Sc (_, d, _, _)
+    | Alpha.Insn.Fcmp (_, _, _, d)
+    | Alpha.Insn.Cvt_fi (_, d)
+    | Alpha.Insn.Load_check (_, d, _, _) ->
+        ([ d ], [])
+    | Alpha.Insn.Lif (f, _) | Alpha.Insn.Ldf (f, _, _) | Alpha.Insn.Cvt_if (_, f)
+    | Alpha.Insn.Fmov (_, f) | Alpha.Insn.Fbinop (_, _, _, f) ->
+        ([], [ f ])
+    | _ -> ([], [])
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Alpha.Program.procedure) ->
+        let wi, wf = Hashtbl.find writes p.Alpha.Program.name in
+        let mark a r =
+          if r <> Dataflow.zero && not a.(r) then begin
+            a.(r) <- true;
+            changed := true
+          end
+        in
+        Array.iter
+          (fun insn ->
+            let di, df = dest_regs insn in
+            List.iter (mark wi) di;
+            List.iter (mark wf) df;
+            match insn with
+            | Alpha.Insn.Call callee -> (
+                match Hashtbl.find_opt writes callee with
+                | Some (ci, cf) ->
+                    Array.iteri (fun r w -> if w then mark wi r) ci;
+                    Array.iteri (fun r w -> if w then mark wf r) cf
+                | None -> () (* external: a system call writes nothing *))
+            | _ -> ())
+          p.Alpha.Program.code)
+      (Alpha.Program.procedures cg.program)
+  done;
+  writes
+
+(** [analyze_classes ?shared_base program] — the whole-program fixed
+    point: procedure entry states joined over call sites, caller
+    after-call states taken from callee exit states. *)
+let analyze_classes ?(shared_base = 0x4000_0000) (program : Alpha.Program.t) =
+  let cg = build program in
+  let entry : (string, Dataflow.state) Hashtbl.t = Hashtbl.create 8 in
+  let exit_ : (string, Dataflow.state) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace entry r (Dataflow.entry_state ())) cg.roots;
+  (* One instruction's transfer under the interprocedural call rule.
+     Returns [false] when the continuation after the instruction is not
+     yet reachable (a call whose callee has no known exit). *)
+  let transfer_ip (s : Dataflow.state) insn =
+    match insn with
+    | Alpha.Insn.Call callee -> (
+        match Alpha.Program.find_opt program callee with
+        | Some _ -> (
+            (* Feed the callee's entry; resume from its exit. *)
+            let changed =
+              match Hashtbl.find_opt entry callee with
+              | Some e -> Dataflow.join_state e s
+              | None ->
+                  Hashtbl.replace entry callee (Dataflow.copy s);
+                  true
+            in
+            match Hashtbl.find_opt exit_ callee with
+            | Some ex ->
+                Array.blit ex.Dataflow.ints 0 s.Dataflow.ints 0 32;
+                Array.blit ex.Dataflow.floats 0 s.Dataflow.floats 0 32;
+                (true, changed)
+            | None -> (false, changed))
+        | None ->
+            if Alpha.Runtime.is_sync_proc callee then (true, false)
+              (* sync system calls preserve the register file *)
+            else begin
+              Dataflow.transfer ~shared_base s insn;
+              (true, false)
+            end)
+    | _ ->
+        Dataflow.transfer ~shared_base s insn;
+        (true, false)
+  in
+  let is_exit_block (cfg : Cfg.t) (blk : Cfg.block) =
+    blk.Cfg.succs = []
+    &&
+    match cfg.Cfg.proc.Alpha.Program.code.(blk.Cfg.last) with
+    | Alpha.Insn.Ret -> true
+    | Alpha.Insn.Halt -> false (* halting never returns to a caller *)
+    | Alpha.Insn.Br _ | Alpha.Insn.Bcond _ -> false
+    | _ -> true (* falling off the end returns *)
+  in
+  (* Intra pass for one procedure from its current entry state; returns
+     whether any callee entry or this procedure's exit state grew. *)
+  let analyze_proc name =
+    match Hashtbl.find_opt entry name with
+    | None -> false
+    | Some e ->
+        let cfg = cfg_of cg name in
+        let code = cfg.Cfg.proc.Alpha.Program.code in
+        let nb = Cfg.n_blocks cfg in
+        let outside = ref false in
+        let block_in : Dataflow.state option array = Array.make nb None in
+        block_in.(0) <- Some (Dataflow.copy e);
+        let work = Queue.create () in
+        Queue.push 0 work;
+        while not (Queue.is_empty work) do
+          let b = Queue.pop work in
+          match block_in.(b) with
+          | None -> ()
+          | Some sin ->
+              let s = Dataflow.copy sin in
+              let blk = Cfg.block cfg b in
+              let live = ref true in
+              for i = blk.Cfg.first to blk.Cfg.last do
+                if !live then begin
+                  let cont, fed = transfer_ip s code.(i) in
+                  if fed then outside := true;
+                  if not cont then live := false
+                end
+              done;
+              if !live then begin
+                if is_exit_block cfg blk then begin
+                  match Hashtbl.find_opt exit_ name with
+                  | Some ex -> if Dataflow.join_state ex s then outside := true
+                  | None ->
+                      Hashtbl.replace exit_ name (Dataflow.copy s);
+                      outside := true
+                end;
+                List.iter
+                  (fun succ ->
+                    match block_in.(succ) with
+                    | None ->
+                        block_in.(succ) <- Some (Dataflow.copy s);
+                        Queue.push succ work
+                    | Some dst -> if Dataflow.join_state dst s then Queue.push succ work)
+                  blk.Cfg.succs
+              end
+        done;
+        !outside
+  in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < 64 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun (name, _) -> if analyze_proc name then changed := true)
+      cg.cfgs
+  done;
+  (* Expand per-instruction before-states from the converged entry
+     states (same intra pass, recording as it goes). *)
+  let before : (string, Dataflow.state array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, cfg) ->
+      let code = cfg.Cfg.proc.Alpha.Program.code in
+      let n = Array.length code in
+      let states = Array.init n (fun _ -> Dataflow.entry_state ()) in
+      (match Hashtbl.find_opt entry name with
+      | None -> () (* dead procedure: entry-state placeholders *)
+      | Some e ->
+          let nb = Cfg.n_blocks cfg in
+          let block_in : Dataflow.state option array = Array.make nb None in
+          block_in.(0) <- Some (Dataflow.copy e);
+          let work = Queue.create () in
+          Queue.push 0 work;
+          while not (Queue.is_empty work) do
+            let b = Queue.pop work in
+            match block_in.(b) with
+            | None -> ()
+            | Some sin ->
+                let s = Dataflow.copy sin in
+                let blk = Cfg.block cfg b in
+                let live = ref true in
+                for i = blk.Cfg.first to blk.Cfg.last do
+                  if !live then begin
+                    states.(i) <- Dataflow.copy s;
+                    let cont, _ = transfer_ip s code.(i) in
+                    if not cont then live := false
+                  end
+                done;
+                if !live then
+                  List.iter
+                    (fun succ ->
+                      match block_in.(succ) with
+                      | None ->
+                          block_in.(succ) <- Some (Dataflow.copy s);
+                          Queue.push succ work
+                      | Some dst -> if Dataflow.join_state dst s then Queue.push succ work)
+                    blk.Cfg.succs
+          done);
+      Hashtbl.replace before name states)
+    cg.cfgs;
+  { cg; entry; exit_; before; writes = compute_writes cg }
+
+(* ------------------------------------------------------------------ *)
+(* Escape report.                                                      *)
+
+type escape = {
+  esc_proc : string;
+  esc_index : int;
+  esc_insn : Alpha.Insn.t;
+  esc_cls : Dataflow.cls;  (** class of the stored value *)
+}
+
+(** [escapes classes] — stores whose stored value may be a shared
+    pointer: after such a store the pointer lives in memory, outside
+    what the register-class analysis can see. *)
+let escapes (c : classes) =
+  List.concat_map
+    (fun (name, cfg) ->
+      let code = cfg.Cfg.proc.Alpha.Program.code in
+      let states = Hashtbl.find c.before name in
+      let out = ref [] in
+      Array.iteri
+        (fun i insn ->
+          match insn with
+          | Alpha.Insn.St (_, src, _, _) when src <> Dataflow.zero -> (
+              match states.(i).Dataflow.ints.(src) with
+              | Dataflow.Shared | Dataflow.Top ->
+                  out := { esc_proc = name; esc_index = i; esc_insn = insn;
+                           esc_cls = states.(i).Dataflow.ints.(src) } :: !out
+              | Dataflow.Private -> ())
+          | _ -> ())
+        code;
+      List.rev !out)
+    c.cg.cfgs
+
+(** Class of integer register [r] before instruction [idx] of [proc];
+    [Top] for procedures the analysis never reached. *)
+let class_before (c : classes) ~proc ~idx r =
+  match Hashtbl.find_opt c.before proc with
+  | Some states when idx < Array.length states -> states.(idx).Dataflow.ints.(r)
+  | _ -> Dataflow.Top

@@ -58,18 +58,31 @@ let build (cfg : Cfg.t) =
       rpo_order
   done;
   let frontiers = Array.make nb [] in
+  let add n v = if not (List.mem v frontiers.(n)) then frontiers.(n) <- v :: frontiers.(n) in
   for b = 0 to nb - 1 do
-    if idom.(b) <> -1 && List.length preds.(b) >= 2 then
+    if idom.(b) <> -1 && (b = 0 || List.length preds.(b) >= 2) then
       List.iter
         (fun p ->
-          if idom.(p) <> -1 then begin
-            let runner = ref p in
-            while !runner <> idom.(b) do
-              if not (List.mem b frontiers.(!runner)) then
-                frontiers.(!runner) <- b :: frontiers.(!runner);
-              runner := idom.(!runner)
-            done
-          end)
+          if idom.(p) <> -1 then
+            if b = 0 then begin
+              (* Nothing strictly dominates the entry, so a backedge
+                 into it puts the whole dominator chain of [p] — entry
+                 included — in the frontier; the usual walk would stop
+                 at idom(entry) = entry and drop that last element. *)
+              let runner = ref p in
+              while !runner <> 0 do
+                add !runner b;
+                runner := idom.(!runner)
+              done;
+              add 0 b
+            end
+            else begin
+              let runner = ref p in
+              while !runner <> idom.(b) do
+                add !runner b;
+                runner := idom.(!runner)
+              done
+            end)
         preds.(b)
   done;
   { cfg; preds; idom; frontiers; rpo }
@@ -95,8 +108,10 @@ let natural_loop t ~header ~latch =
   else begin
     let inloop = Array.make (Array.length t.idom) false in
     inloop.(header) <- true;
+    (* Skip unreachable predecessors: dead code branching into the loop
+       is not part of its body (and the header cannot dominate it). *)
     let rec add b =
-      if not inloop.(b) then begin
+      if t.idom.(b) <> -1 && not inloop.(b) then begin
         inloop.(b) <- true;
         List.iter add t.preds.(b)
       end

@@ -577,6 +577,25 @@ let alpha_runtime h =
     prefetch_excl =
       (fun addr -> if is_shared h addr then in_protocol h (fun () -> E.prefetch_excl h.pcb addr));
     charge = (fun n -> charge_cycles h n);
+    (* MP synchronisation system calls (lock id in a0; barrier id in
+       a0, parties in a1) — the IR-mode twin of [lock]/[unlock]/
+       [barrier] above, sharing their release/fence semantics. *)
+    syscall =
+      (fun name regs ->
+        let a0 = Int64.to_int regs.(16) and a1 = Int64.to_int regs.(17) in
+        if name = Alpha.Runtime.sync_lock_proc then begin
+          lock h a0;
+          true
+        end
+        else if name = Alpha.Runtime.sync_unlock_proc then begin
+          unlock h a0;
+          true
+        end
+        else if name = Alpha.Runtime.sync_barrier_proc then begin
+          barrier h ~id:a0 ~parties:a1;
+          true
+        end
+        else false);
   }
 
 (** [run_program h program ~entry ?args ()] — execute an (instrumented)

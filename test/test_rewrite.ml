@@ -415,6 +415,137 @@ let test_private_float_roundtrip_unchecked () =
   Alcotest.(check int) "no batch checks" 0 (count is_batch_check code);
   Alcotest.(check int) "counted private" 1 stats.Rewrite.Instrument.accesses_private
 
+(* --- dominator-tree properties on random CFGs ----------------------
+
+   Random branchy procedures: a handful of labelled segments, each
+   ending in an unconditional branch, a conditional branch (falls
+   through), a halt, or plain fall-through, with targets drawn freely —
+   so the CFGs include unreachable blocks, self loops, multiple
+   backedges and irreducible shapes.  Domtree's idom/frontier answers
+   are checked against direct-from-definition references. *)
+
+module Cfg = Rewrite.Cfg
+module Domtree = Rewrite.Domtree
+
+let gen_branchy_proc =
+  QCheck.Gen.(
+    int_range 2 12 >>= fun nseg ->
+    list_repeat nseg (pair (int_range 0 3) (int_range 0 (nseg - 1))) >|= fun segs ->
+    let lbl k = Printf.sprintf "L%d" k in
+    let body =
+      List.concat
+        (List.mapi
+           (fun i (kind, tgt) ->
+             Asm.[ label (lbl i); li t0 (Int64.of_int i) ]
+             @
+             match kind with
+             | 0 -> [ Asm.br (lbl tgt) ]
+             | 1 -> [ Asm.beq Asm.t0 (lbl tgt) ]
+             | 2 -> [ Asm.halt ]
+             | _ -> [])
+           segs)
+      @ [ Asm.halt ]
+    in
+    Asm.(program [ proc "main" body ]))
+
+(* Reference dominator sets by the textbook dataflow fixpoint:
+   Dom(entry) = {entry}, Dom(b) = {b} ∪ ⋂ over reachable preds. *)
+let reach_and_doms cfg =
+  let nb = Cfg.n_blocks cfg in
+  let preds = Cfg.preds cfg in
+  let reach = Array.make nb false in
+  let rec dfs b =
+    if not reach.(b) then begin
+      reach.(b) <- true;
+      List.iter dfs (Cfg.block cfg b).Cfg.succs
+    end
+  in
+  if nb > 0 then dfs 0;
+  let all = List.filter (fun b -> reach.(b)) (List.init nb Fun.id) in
+  let dom = Array.init nb (fun b -> if b = 0 then [ 0 ] else all) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> 0 then begin
+          let inter =
+            match List.filter (fun p -> reach.(p)) preds.(b) with
+            | [] -> []
+            | p0 :: rest ->
+                List.fold_left
+                  (fun acc p -> List.filter (fun x -> List.mem x dom.(p)) acc)
+                  dom.(p0) rest
+          in
+          let nd = List.sort_uniq compare (b :: inter) in
+          if nd <> dom.(b) then begin
+            dom.(b) <- nd;
+            changed := true
+          end
+        end)
+      all
+  done;
+  (reach, dom)
+
+let qcheck_idom_is_dominator =
+  QCheck.Test.make ~name:"idom chain reproduces the dominator-set reference" ~count:200
+    (QCheck.make gen_branchy_proc) (fun prog ->
+      let cfg = Cfg.build (Program.find prog "main") in
+      let t = Domtree.build cfg in
+      let reach, dom = reach_and_doms cfg in
+      let nb = Cfg.n_blocks cfg in
+      let blocks = List.init nb Fun.id in
+      List.for_all
+        (fun b ->
+          Domtree.reachable t b = reach.(b)
+          && ((not reach.(b))
+             || List.filter (fun a -> Domtree.dominates t a b) blocks = dom.(b)
+                && (match Domtree.idom t b with
+                   | None -> b = 0
+                   | Some d -> d <> b && List.mem d dom.(b))))
+        blocks)
+
+let qcheck_frontier_definition =
+  (* v ∈ DF(n) iff n dominates one of v's reachable predecessors and n
+     does not strictly dominate v — no more, no less. *)
+  QCheck.Test.make ~name:"dominance frontier matches its definition" ~count:200
+    (QCheck.make gen_branchy_proc) (fun prog ->
+      let cfg = Cfg.build (Program.find prog "main") in
+      let t = Domtree.build cfg in
+      let preds = Cfg.preds cfg in
+      let nb = Cfg.n_blocks cfg in
+      let blocks = List.init nb Fun.id in
+      let expected n =
+        List.filter
+          (fun v ->
+            Domtree.reachable t v
+            && List.exists (fun p -> Domtree.reachable t p && Domtree.dominates t n p) preds.(v)
+            && not (n <> v && Domtree.dominates t n v))
+          blocks
+      in
+      List.for_all
+        (fun n ->
+          (not (Domtree.reachable t n))
+          || List.sort compare (Domtree.frontier t n) = expected n)
+        blocks)
+
+let qcheck_loop_header_dominates =
+  QCheck.Test.make ~name:"natural-loop headers dominate their bodies" ~count:200
+    (QCheck.make gen_branchy_proc) (fun prog ->
+      let cfg = Cfg.build (Program.find prog "main") in
+      let t = Domtree.build cfg in
+      List.for_all
+        (fun (br_i, tgt_i) ->
+          let header = cfg.Cfg.block_of.(tgt_i) and latch = cfg.Cfg.block_of.(br_i) in
+          match Domtree.natural_loop t ~header ~latch with
+          | None -> not (Domtree.dominates t header latch)
+          | Some inloop ->
+              Domtree.dominates t header latch
+              && inloop.(header) && inloop.(latch)
+              && Array.for_all Fun.id
+                   (Array.mapi (fun b inl -> (not inl) || Domtree.dominates t header b) inloop))
+        (Cfg.backedges cfg))
+
 let suite =
   [
     Alcotest.test_case "private not checked" `Quick test_private_not_checked;
@@ -438,4 +569,7 @@ let suite =
     Alcotest.test_case "private float roundtrip unchecked" `Quick
       test_private_float_roundtrip_unchecked;
     QCheck_alcotest.to_alcotest qcheck_semantics_preserved;
+    QCheck_alcotest.to_alcotest qcheck_idom_is_dominator;
+    QCheck_alcotest.to_alcotest qcheck_frontier_definition;
+    QCheck_alcotest.to_alcotest qcheck_loop_header_dominates;
   ]
